@@ -1,0 +1,133 @@
+// Command sweep produces the derived data series of the reproduction
+// (DESIGN.md Fig-A/Fig-B) as CSV:
+//
+//	-mode d     ratio of each strategy on its own adversary as d grows
+//	            (the shape of the Table 1 bound formulas);
+//	-mode l     A_current's ratio versus l, converging to e/(e-1);
+//	-mode load  empirical ratio of every strategy on random load as the
+//	            arrival rate sweeps past saturation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"reqsched"
+)
+
+func main() {
+	mode := flag.String("mode", "d", "d | l | load")
+	phases := flag.Int("phases", 60, "adversary phases")
+	flag.Parse()
+
+	switch *mode {
+	case "d":
+		sweepD(*phases)
+	case "l":
+		sweepL()
+	case "load":
+		sweepLoad()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func sweepD(phases int) {
+	fmt.Println("strategy,d,opt,alg,measured,provenLB,provenUB")
+	type row struct {
+		name  string
+		mk    func() reqsched.Strategy
+		build func(d int) reqsched.Construction
+		ds    []int
+	}
+	rows := []row{
+		{"A_fix", reqsched.NewAFix,
+			func(d int) reqsched.Construction { return reqsched.AdversaryFix(d, phases) },
+			[]int{2, 3, 4, 6, 8, 12, 16, 24}},
+		{"A_fix_balance", reqsched.NewAFixBalance,
+			func(d int) reqsched.Construction { return reqsched.AdversaryFixBalance(d, phases) },
+			[]int{2, 4, 6, 8, 12, 16, 24}},
+		{"A_eager", reqsched.NewAEager,
+			func(d int) reqsched.Construction { return reqsched.AdversaryEager(d, phases) },
+			[]int{2, 4, 6, 8, 12, 16, 24}},
+		{"A_balance", reqsched.NewABalance,
+			func(d int) reqsched.Construction {
+				return reqsched.AdversaryBalance((d+1)/3, 32, phases)
+			},
+			[]int{2, 5, 8, 11, 14}},
+		{"A_local_fix", reqsched.NewALocalFix,
+			func(d int) reqsched.Construction { return reqsched.AdversaryLocalFix(d, phases) },
+			[]int{1, 2, 4, 8, 16}},
+	}
+	for _, r := range rows {
+		for _, d := range r.ds {
+			c := r.build(d)
+			m := reqsched.MeasureConstruction(c, r.mk())
+			fmt.Printf("%s,%d,%d,%d,%.6f,%.6f,%s\n",
+				r.name, d, m.OPT, m.ALG, m.Ratio(), c.Bound, ub(r.name, d))
+		}
+	}
+}
+
+func ub(name string, d int) string {
+	s := reqsched.StrategyByName(name)
+	if s == nil {
+		return ""
+	}
+	// UpperBound formulas mirror Table 1; reuse the measurement bound field
+	// by probing a tiny run is overkill — recompute directly.
+	switch name {
+	case "A_fix", "A_current", "A_local_fix":
+		if name == "A_local_fix" {
+			return "2.000000"
+		}
+		return fmt.Sprintf("%.6f", 2-1/float64(d))
+	case "A_fix_balance":
+		b := 4.0 / 3.0
+		if v := 2 - 2/float64(d); v > b {
+			b = v
+		}
+		if v := 2 - 3/(float64(d)+2); v > b {
+			b = v
+		}
+		return fmt.Sprintf("%.6f", b)
+	case "A_eager":
+		return fmt.Sprintf("%.6f", (3*float64(d)-2)/(2*float64(d)-1))
+	case "A_balance":
+		if d == 2 {
+			return fmt.Sprintf("%.6f", 4.0/3.0)
+		}
+		return fmt.Sprintf("%.6f", 6*(float64(d)-1)/(4*float64(d)-3))
+	}
+	return ""
+}
+
+func sweepL() {
+	fmt.Println("l,d,opt,alg,measured,analytic,asymptote")
+	for l := 2; l <= 7; l++ {
+		c := reqsched.AdversaryCurrent(l, 5)
+		m := reqsched.MeasureConstruction(c, reqsched.NewACurrent())
+		fmt.Printf("%d,%d,%d,%d,%.6f,%.6f,%.6f\n",
+			l, c.D, m.OPT, m.ALG, m.Ratio(), reqsched.AdversaryCurrentBound(l), 1.5819767)
+	}
+}
+
+func sweepLoad() {
+	fmt.Println("strategy,rate,opt,alg,measured")
+	n, d := 8, 4
+	for _, frac := range []float64{0.5, 0.8, 1.0, 1.2, 1.5, 2.0, 3.0} {
+		cfg := reqsched.WorkloadConfig{N: n, D: d, Rounds: 150, Rate: frac * float64(n), Seed: 7}
+		tr := reqsched.Uniform(cfg)
+		opt := reqsched.Optimum(tr)
+		for name, s := range reqsched.Strategies() {
+			res := reqsched.Run(s, tr)
+			r := 0.0
+			if res.Fulfilled > 0 {
+				r = float64(opt) / float64(res.Fulfilled)
+			}
+			fmt.Printf("%s,%.2f,%d,%d,%.6f\n", name, frac, opt, res.Fulfilled, r)
+		}
+	}
+}

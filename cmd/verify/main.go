@@ -1,0 +1,96 @@
+// Command verify runs the reproduction's headline checks in one shot — a
+// CI-style gate. It measures every Table 1 row's adversary in parallel,
+// checks proven bounds on both sides, re-validates the structural
+// augmenting-path claims of the upper-bound proofs, and exits non-zero on
+// any violation.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"reqsched"
+)
+
+type check struct {
+	name string
+	ok   bool
+	info string
+}
+
+func main() {
+	var checks []check
+	add := func(name string, ok bool, format string, args ...interface{}) {
+		checks = append(checks, check{name, ok, fmt.Sprintf(format, args...)})
+	}
+
+	// 1. Every Table 1 row: measured within (LB - tolerance, UB].
+	type row struct {
+		name     string
+		build    func() reqsched.Construction
+		strategy func() reqsched.Strategy
+		lb, ub   float64
+	}
+	rows := []row{
+		{"A_fix d=4", func() reqsched.Construction { return reqsched.AdversaryFix(4, 120) },
+			reqsched.NewAFix, 1.75, 1.75},
+		{"A_current d=2", func() reqsched.Construction { return reqsched.AdversaryEager(2, 120) },
+			reqsched.NewACurrent, 4.0 / 3, 1.5},
+		{"A_current l=5", func() reqsched.Construction { return reqsched.AdversaryCurrent(5, 5) },
+			reqsched.NewACurrent, reqsched.AdversaryCurrentBound(5), 2 - 1.0/60},
+		{"A_fix_balance d=8", func() reqsched.Construction { return reqsched.AdversaryFixBalance(8, 120) },
+			reqsched.NewAFixBalance, 24.0 / 18, 1.75},
+		{"A_eager d=4", func() reqsched.Construction { return reqsched.AdversaryEager(4, 120) },
+			reqsched.NewAEager, 4.0 / 3, 10.0 / 7},
+		{"A_balance x=2 k=64", func() reqsched.Construction { return reqsched.AdversaryBalance(2, 64, 60) },
+			reqsched.NewABalance, 27.0 / 21, 24.0 / 17},
+		{"universal vs A_balance", func() reqsched.Construction { return reqsched.AdversaryUniversal(6, 40) },
+			reqsched.NewABalance, 45.0 / 41, 30.0 / 21},
+		{"A_local_fix d=4", func() reqsched.Construction { return reqsched.AdversaryLocalFix(4, 120) },
+			reqsched.NewALocalFix, 2, 2},
+		{"EDF worst d=4", func() reqsched.Construction { return reqsched.AdversaryEDF(4, 120) },
+			reqsched.NewEDF, 2, 2},
+	}
+	jobs := make([]reqsched.MeasureJob, len(rows))
+	for i, r := range rows {
+		jobs[i] = reqsched.MeasureJob{Name: r.name, Build: r.build, Strategy: r.strategy}
+	}
+	results := reqsched.MeasureParallel(jobs, 0)
+	for i, m := range results {
+		r := rows[i]
+		got := m.Ratio()
+		ok := got <= r.ub+1e-9 && got >= r.lb-0.02
+		add("bounds: "+r.name, ok, "measured %.4f, proven LB %.4f, UB %.4f", got, r.lb, r.ub)
+	}
+
+	// 2. Structural proof claims on a stress workload.
+	tr := reqsched.Uniform(reqsched.WorkloadConfig{N: 6, D: 4, Rounds: 60, Rate: 10, Seed: 99})
+	opt := reqsched.Optimum(tr)
+	for name, s := range reqsched.Strategies() {
+		res := reqsched.Run(s, tr)
+		err := reqsched.ValidateLog(tr, res.Log)
+		add("valid schedule: "+name, err == nil && res.Fulfilled <= opt,
+			"served %d of %d (OPT %d), err=%v", res.Fulfilled, tr.NumRequests(), opt, err)
+	}
+
+	// 3. Observation 3.1: EDF optimal for single-choice.
+	single := reqsched.SingleChoice(reqsched.WorkloadConfig{N: 4, D: 4, Rounds: 50, Rate: 6, Seed: 5})
+	edf := reqsched.Run(reqsched.NewEDF(), single)
+	add("EDF single-choice optimal", edf.Fulfilled == reqsched.Optimum(single),
+		"EDF %d vs OPT %d", edf.Fulfilled, reqsched.Optimum(single))
+
+	// Report.
+	failures := 0
+	for _, c := range checks {
+		status := "PASS"
+		if !c.ok {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("%-4s %-38s %s\n", status, c.name, c.info)
+	}
+	fmt.Printf("\n%d checks, %d failures\n", len(checks), failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,77 @@
+// Burstanalysis: dissect how the strategies absorb a correlated burst — the
+// scenario the paper's adversarial model is built for. The example runs a
+// single large burst against A_fix and A_balance, plots the per-round
+// backlog as ASCII, and classifies the losses with the augmenting-path
+// analysis from the upper-bound proofs (Section 3): each lost request is the
+// start of an augmenting path against the optimum, and its order (number of
+// requests on the path) tells how many rescheduling steps an optimal
+// schedule would have needed to save it.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"reqsched"
+)
+
+func main() {
+	const (
+		n = 8
+		d = 4
+	)
+	b := reqsched.NewBuilder(n, d)
+	// Background load: one request per rotating resource pair per round,
+	// kept away from resources 0..3 where the burst will hit.
+	for t := 0; t < 40; t++ {
+		b.Add(t, 4+t%(n-4), 4+(t+1)%(n-4))
+	}
+	// Round 10: "bridge" requests that list the soon-to-be-hot pair (1,2)
+	// first but could also go to the idle resources 0 and 3.
+	for i := 0; i < d-1; i++ {
+		b.Add(10, 1, 0)
+		b.Add(10, 2, 3)
+	}
+	// Round 11: the burst — a block of 2d requests that can only use (1,2).
+	for i := 0; i < d; i++ {
+		b.Add(11, 1, 2)
+		b.Add(11, 2, 1)
+	}
+	tr := b.Build()
+	fmt.Println("burst workload:", reqsched.SummarizeTrace(tr))
+	opt := reqsched.Optimum(tr)
+	fmt.Printf("offline optimum: %d of %d\n\n", opt, tr.NumRequests())
+
+	for _, s := range []reqsched.Strategy{reqsched.NewAFix(), reqsched.NewABalance()} {
+		res, series := reqsched.RunWithSeries(s, tr)
+		fmt.Printf("--- %s: served %d (OPT %d) ---\n", res.Strategy, res.Fulfilled, opt)
+		fmt.Println("backlog per round (unscheduled pending requests):")
+		for _, r := range series.Rounds {
+			if r.T < 8 || r.T > 20 {
+				continue
+			}
+			fmt.Printf("  t=%2d |%s %d\n", r.T, strings.Repeat("#", r.Backlog), r.Backlog)
+		}
+		orders := reqsched.AugmentingOrders(tr, res.Log)
+		if len(orders) == 0 {
+			fmt.Println("no losses: schedule is optimal")
+		} else {
+			var ks []int
+			for k := range orders {
+				ks = append(ks, k)
+			}
+			sort.Ints(ks)
+			fmt.Println("losses by augmenting-path order (requests per path):")
+			for _, k := range ks {
+				fmt.Printf("  order %d: %d paths\n", k, orders[k])
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("A_fix's losses sit on short augmenting paths — one or two reassignments")
+	fmt.Println("would have saved them, but A_fix never reschedules. A_balance's")
+	fmt.Println("remaining losses (if any) need longer chains, matching its stronger")
+	fmt.Println("guarantee (no augmenting paths of order < 3).")
+}

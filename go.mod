@@ -1,0 +1,3 @@
+module reqsched
+
+go 1.22

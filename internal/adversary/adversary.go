@@ -1,0 +1,57 @@
+// Package adversary implements the request sequences from the paper's
+// lower-bound proofs (Section 2 and Theorem 3.7). Each construction returns a
+// Construction bundling the trace (or adaptive source), the theorem's bound,
+// and the strategy it targets. The lower bounds are existential — "the
+// strategy can be implemented in a way that ..." — and the constructions here
+// order request IDs and alternative listings so that the deterministic
+// implementations in internal/strategies realize exactly the executions the
+// proofs describe. Tests and the Table 1 harness measure OPT/ALG on these
+// traces and check convergence to the proven bound as the number of phases
+// grows.
+package adversary
+
+import (
+	"fmt"
+
+	"reqsched/internal/core"
+)
+
+// Construction is one adversarial lower-bound instance.
+type Construction struct {
+	// Name identifies the construction; Theorem cites the paper.
+	Name    string
+	Theorem string
+	// N and D are the model parameters the construction was built for.
+	N, D int
+	// Bound is the theorem's asymptotic lower bound on the competitive
+	// ratio of the target strategy on this input family.
+	Bound float64
+	// Trace is the request sequence (nil when the adversary is adaptive).
+	Trace *core.Trace
+	// Source is the adaptive adversary (only Theorem 2.6).
+	Source core.AdaptiveSource
+	// TargetName names the strategy the construction is designed to fool.
+	TargetName string
+}
+
+func (c Construction) String() string {
+	return fmt.Sprintf("%s (%s, d=%d, n=%d, bound %.4f)", c.Name, c.Theorem, c.D, c.N, c.Bound)
+}
+
+// gcd and lcm over ints.
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// LCM returns the least common multiple of 1..k — the smallest deadline d for
+// which the Theorem 2.2 construction's group sizes d/(l-i) are all integral.
+func LCM(k int) int {
+	l := 1
+	for i := 2; i <= k; i++ {
+		l = l / gcd(l, i) * i
+	}
+	return l
+}

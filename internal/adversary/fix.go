@@ -1,0 +1,132 @@
+package adversary
+
+import "reqsched/internal/core"
+
+// Fix builds the Theorem 2.1 sequence against A_fix, forcing a competitive
+// ratio of 2 - 1/d with four resources (indices: S1..S4 = 0..3).
+//
+// Per phase (d rounds): while S2 and S3 are still busy for one round from the
+// previous block, the adversary injects the groups R1 -> {S2 first, S1} and
+// R2 -> {S3 first, S4} (d-1 requests each), which A_fix pins to S2 and S3
+// because both are free from the next round on and A_fix prefers the first
+// listed alternative. One round later a block(2,d) on {S2,S3} arrives and
+// finds only one free slot per resource. A_fix serves 2d of the 4d-2 phase
+// requests; the optimum serves all (R1 at S1, R2 at S4, block at S2/S3).
+func Fix(d, phases int) Construction {
+	if d < 2 {
+		panic("adversary: Fix needs d >= 2")
+	}
+	const (
+		s1, s2, s3, s4 = 0, 1, 2, 3
+	)
+	b := core.NewBuilder(4, d)
+	b.Block(0, s2, s3)
+	for p := 1; p <= phases; p++ {
+		t0 := p*d - 1
+		for i := 0; i < d-1; i++ {
+			b.Add(t0, s2, s1) // R1: S2 listed first — the forced bad choice
+		}
+		for i := 0; i < d-1; i++ {
+			b.Add(t0, s3, s4) // R2: S3 listed first
+		}
+		b.Block(t0+1, s2, s3)
+	}
+	return Construction{
+		Name:       "fix",
+		Theorem:    "Theorem 2.1",
+		N:          4,
+		D:          d,
+		Bound:      2 - 1/float64(d),
+		Trace:      b.Build(),
+		TargetName: "A_fix",
+	}
+}
+
+// Current builds the Theorem 2.2 sequence against A_current with l resources
+// and d = LCM(l) (the paper uses d = l!, any d divisible by 1..l-1 works).
+// The forced ratio tends to e/(e-1) as l grows.
+//
+// Per phase (d rounds, all requests injected in its first round): groups
+// R_1..R_l of d requests each; R_i's first alternatives are spread evenly
+// over S_1..S_{l-i} and its second alternative is S_{l-i+1}; R_l repeats
+// R_{l-1}. A_current, maximizing only the current round and preferring older
+// requests, drains the groups in order and leaves the high-indexed resources
+// idle once the groups that could use them are gone; the optimum serves R_i
+// (i < l) on S_{l-i+1} and R_l on S_1, losing nothing.
+func Current(l, phases int) Construction {
+	return currentWithD(l, LCM(l), phases, "current")
+}
+
+// CurrentFactorial is the construction exactly as printed in the paper, with
+// d = l!. Identical forced ratio to Current (any d divisible by 1..l-1
+// works); provided so the literal parameterization is reproducible too.
+// Beware the trace size: l=7 gives d=5040.
+func CurrentFactorial(l, phases int) Construction {
+	d := 1
+	for i := 2; i <= l; i++ {
+		d *= i
+	}
+	return currentWithD(l, d, phases, "current_factorial")
+}
+
+func currentWithD(l, d, phases int, name string) Construction {
+	if l < 2 {
+		panic("adversary: Current needs l >= 2")
+	}
+	b := core.NewBuilder(l, d)
+	for p := 0; p < phases; p++ {
+		t0 := p * d
+		for i := 1; i <= l; i++ {
+			gi := i
+			if i == l {
+				gi = l - 1 // R_l is a copy of R_{l-1}
+			}
+			span := l - gi // first alternatives spread over S_1..S_span
+			second := span // S_{span+1} zero-indexed
+			for k := 0; k < d; k++ {
+				first := k % span
+				b.Add(t0, first, second)
+			}
+		}
+	}
+	// The asymptotic bound is e/(e-1); for finite l the forced ratio is
+	// 1 / (1 - sum of the serving-rate harmonics), reported by the exact
+	// bound helper below.
+	return Construction{
+		Name:       name,
+		Theorem:    "Theorem 2.2",
+		N:          l,
+		D:          d,
+		Bound:      CurrentBound(l),
+		Trace:      b.Build(),
+		TargetName: "A_current",
+	}
+}
+
+// CurrentBound returns the ratio the Theorem 2.2 adversary forces for finite
+// l: A_current spends d/(l-i+1) rounds draining group i, so it completes the
+// first k groups where the cumulative time reaches d, serves the fraction of
+// the next group that fits, and loses the rest. The ratio tends to
+// e/(e-1) ≈ 1.582 as l -> infinity.
+func CurrentBound(l int) float64 {
+	// Serving rates: group i (1-based, i < l) uses l-i+1 resources; group l
+	// uses the leftover time. Time to drain group i completely: 1/(l-i+1)
+	// of the phase (d rounds each group, rate l-i+1 per round).
+	served := 0.0
+	time := 0.0
+	for i := 1; i <= l; i++ {
+		rate := float64(l - i + 1)
+		if i == l {
+			rate = 2 // R_l repeats R_{l-1}: resources S_1, S_2
+		}
+		need := 1.0 / rate // phase fraction to drain the group
+		if time+need <= 1.0 {
+			served += 1.0
+			time += need
+		} else {
+			served += (1.0 - time) * rate
+			break
+		}
+	}
+	return float64(l) / served
+}

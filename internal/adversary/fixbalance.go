@@ -1,0 +1,94 @@
+package adversary
+
+import "reqsched/internal/core"
+
+// FixBalance builds the Theorem 2.3 sequence against A_fix_balance (even d,
+// six resources), forcing a ratio of 3d/(2d+2).
+//
+// Phases rotate through the three resource pairs (S1,S2), (S3,S4), (S5,S6).
+// At each phase start the active pair is blocked for d/2 more rounds; the
+// groups R1 -> {blocked_a, fresh_a} and R2 -> {blocked_b, fresh_b} (d/2 each)
+// arrive and the balance objective pins them onto the *fresh* pair (earliest
+// free slots). One round later a block(2,d) on the fresh pair finds only
+// d/2+1 free slots per resource, so A_fix_balance serves 2d+2 of the 3d
+// phase requests while the optimum serves all (R1/R2 late on the blocked
+// pair, block fully on the fresh pair).
+func FixBalance(d, phases int) Construction {
+	if d < 2 || d%2 != 0 {
+		panic("adversary: FixBalance needs even d >= 2")
+	}
+	pairs := [3][2]int{{0, 1}, {2, 3}, {4, 5}}
+	b := core.NewBuilder(6, d)
+	b.Block(0, 0, 1)
+	for p := 0; p < phases; p++ {
+		t0 := d/2 + p*(d/2+1)
+		blocked := pairs[p%3]
+		fresh := pairs[(p+1)%3]
+		for i := 0; i < d/2; i++ {
+			b.Add(t0, blocked[0], fresh[0]) // R1
+		}
+		for i := 0; i < d/2; i++ {
+			b.Add(t0, blocked[1], fresh[1]) // R2
+		}
+		b.Block(t0+1, fresh[0], fresh[1])
+	}
+	return Construction{
+		Name:       "fix_balance",
+		Theorem:    "Theorem 2.3",
+		N:          6,
+		D:          d,
+		Bound:      3 * float64(d) / (2*float64(d) + 2),
+		Trace:      b.Build(),
+		TargetName: "A_fix_balance",
+	}
+}
+
+// Eager builds the Theorem 2.4 sequence (even d, four resources), forcing a
+// ratio of 4/3 on A_eager — and, for d = 2, on A_current, A_fix_balance and
+// A_balance as well.
+//
+// Phases of length 3d/2 overlap with spacing d. In an odd phase the pair
+// (S1,S4) is busy for the first d/2 rounds; the adversary injects R1 (d/2 ->
+// S1,S2), R2 (d/2 -> S3,S4) and R3 (d -> S2,S3); maximizing current-round
+// service makes the algorithm burn S2/S3 on R1/R2 first, so when the
+// block(2,d) on (S2,S3) arrives d/2 rounds later, R3 and the block (3d
+// requests) compete for 2d remaining slots. Even phases mirror the roles of
+// (S1,S4) and (S2,S3).
+func Eager(d, phases int) Construction {
+	if d < 2 || d%2 != 0 {
+		panic("adversary: Eager needs even d >= 2")
+	}
+	const (
+		s1, s2, s3, s4 = 0, 1, 2, 3
+	)
+	b := core.NewBuilder(4, d)
+	b.Block(0, s1, s4)
+	for p := 1; p <= phases; p++ {
+		t0 := d/2 + (p-1)*d
+		odd := p%2 == 1
+		inner, outer := [2]int{s2, s3}, [2]int{s1, s4}
+		if !odd {
+			inner, outer = outer, inner
+		}
+		// R1 and R2 bridge the busy pair and the free pair.
+		for i := 0; i < d/2; i++ {
+			b.Add(t0, outer[0], inner[0]) // R1: (S1,S2) in odd phases
+		}
+		for i := 0; i < d/2; i++ {
+			b.Add(t0, inner[1], outer[1]) // R2: (S3,S4) in odd phases
+		}
+		for i := 0; i < d; i++ {
+			b.Add(t0, inner[0], inner[1]) // R3 on the free pair
+		}
+		b.Block(t0+d/2, inner[0], inner[1])
+	}
+	return Construction{
+		Name:       "eager",
+		Theorem:    "Theorem 2.4",
+		N:          4,
+		D:          d,
+		Bound:      4.0 / 3.0,
+		Trace:      b.Build(),
+		TargetName: "A_eager",
+	}
+}

@@ -1,0 +1,61 @@
+package adversary
+
+import "reqsched/internal/core"
+
+// LocalFix builds the Theorem 3.7 sequence against A_local_fix, forcing a
+// competitive ratio of exactly 2 with four resources.
+//
+// Per interval of d rounds (requests only in its first round): R1 (d -> S1
+// first, S2), R2 (d -> S3 first, S4) and R3 (2d -> S1 first, S3). In the
+// first communication round every request goes to its first alternative; S1
+// receives R1 and R3 but admits at most d messages (latest deadline first,
+// ties by lower ID — R1 was injected first) and accepts R1, filling itself.
+// In the second communication round the failed R3 goes to S3, which R2
+// already filled. A_local_fix serves 2d of 4d; the optimum serves R1 on S2,
+// R2 on S4 and splits R3 over S1 and S3.
+func LocalFix(d, intervals int) Construction {
+	if d < 1 {
+		panic("adversary: LocalFix needs d >= 1")
+	}
+	const (
+		s1, s2, s3, s4 = 0, 1, 2, 3
+	)
+	b := core.NewBuilder(4, d)
+	for p := 0; p < intervals; p++ {
+		t0 := p * d
+		b.AddGroup(t0, d, s1, s2)   // R1
+		b.AddGroup(t0, d, s3, s4)   // R2
+		b.AddGroup(t0, 2*d, s1, s3) // R3
+	}
+	return Construction{
+		Name:       "local_fix",
+		Theorem:    "Theorem 3.7",
+		N:          4,
+		D:          d,
+		Bound:      2,
+		Trace:      b.Build(),
+		TargetName: "A_local_fix",
+	}
+}
+
+// EDFWorstCase builds the family of inputs on which the independent-copies
+// EDF of Observation 3.2 is exactly 2-competitive: per interval of d rounds,
+// 2d identical requests naming the pair (S1,S2). Both resources hold the
+// same queue, so every round the second resource wastes its slot on the copy
+// of the request the first resource just served; EDF fulfills d of 2d per
+// interval while the optimum fulfills all.
+func EDFWorstCase(d, intervals int) Construction {
+	b := core.NewBuilder(2, d)
+	for p := 0; p < intervals; p++ {
+		b.AddGroup(p*d, 2*d, 0, 1)
+	}
+	return Construction{
+		Name:       "edf_worst",
+		Theorem:    "Observation 3.2",
+		N:          2,
+		D:          d,
+		Bound:      2,
+		Trace:      b.Build(),
+		TargetName: "EDF",
+	}
+}

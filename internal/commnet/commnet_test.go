@@ -1,0 +1,93 @@
+package commnet
+
+import (
+	"testing"
+
+	"reqsched/internal/core"
+)
+
+func req(id, arrive, d int) *core.Request {
+	return &core.Request{ID: id, Arrive: arrive, Alts: []int{0, 1}, D: d}
+}
+
+func TestDeliverCapAndLDF(t *testing.T) {
+	nw := New(2, 2)
+	// Three messages to resource 0 with different deadlines: latest deadline
+	// first, so the earliest-deadline message is dropped.
+	to := make([][]Msg, 2)
+	to[0] = []Msg{
+		{Req: req(1, 0, 1)}, // deadline 0
+		{Req: req(2, 0, 3)}, // deadline 2
+		{Req: req(3, 0, 2)}, // deadline 1
+	}
+	received, rejected := nw.Deliver(to)
+	if len(received[0]) != 2 || len(rejected[0]) != 1 {
+		t.Fatalf("received %d rejected %d", len(received[0]), len(rejected[0]))
+	}
+	if received[0][0].Req.ID != 2 || received[0][1].Req.ID != 3 {
+		t.Fatalf("LDF order wrong: %d, %d", received[0][0].Req.ID, received[0][1].Req.ID)
+	}
+	if rejected[0][0].Req.ID != 1 {
+		t.Fatalf("dropped wrong message: %d", rejected[0][0].Req.ID)
+	}
+	if nw.Dropped() != 1 {
+		t.Fatalf("dropped count %d", nw.Dropped())
+	}
+}
+
+func TestDeliverTiesByLowerID(t *testing.T) {
+	nw := New(1, 1)
+	to := [][]Msg{{
+		{Req: req(7, 0, 2)},
+		{Req: req(3, 0, 2)},
+	}}
+	received, _ := nw.Deliver(to)
+	if received[0][0].Req.ID != 3 {
+		t.Fatalf("tie should admit lower ID, got %d", received[0][0].Req.ID)
+	}
+}
+
+func TestDeliverPriorityFirst(t *testing.T) {
+	nw := New(1, 1)
+	to := [][]Msg{{
+		{Req: req(1, 0, 9)},                 // latest deadline but untagged
+		{Req: req(2, 0, 1), Priority: true}, // tagged wins
+	}}
+	received, _ := nw.Deliver(to)
+	if received[0][0].Req.ID != 2 {
+		t.Fatalf("priority message not admitted first")
+	}
+}
+
+func TestAccountingSkipsEmptyRounds(t *testing.T) {
+	nw := New(3, 2)
+	nw.Deliver(make([][]Msg, 3)) // no messages: free
+	if r, m := nw.Totals(); r != 0 || m != 0 {
+		t.Fatalf("empty round counted: %d rounds %d msgs", r, m)
+	}
+	to := make([][]Msg, 3)
+	to[1] = []Msg{{Req: req(1, 0, 2)}}
+	to[2] = []Msg{{Req: req(2, 0, 2)}, {Req: req(3, 0, 2)}}
+	nw.Deliver(to)
+	if r, m := nw.Totals(); r != 1 || m != 3 {
+		t.Fatalf("accounting wrong: %d rounds %d msgs", r, m)
+	}
+}
+
+func TestDeliverDoesNotMutateInput(t *testing.T) {
+	nw := New(1, 1)
+	msgs := []Msg{{Req: req(1, 0, 1)}, {Req: req(2, 0, 5)}}
+	nw.Deliver([][]Msg{msgs})
+	if msgs[0].Req.ID != 1 || msgs[1].Req.ID != 2 {
+		t.Fatal("Deliver reordered the caller's slice")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, 1)
+}

@@ -1,0 +1,140 @@
+package core
+
+import "fmt"
+
+// AdaptiveSource generates arrivals round by round while observing which
+// requests the online algorithm has fulfilled so far. The paper's Theorem 2.6
+// adversary is adaptive: in its second phase it blocks whichever colored
+// request group the algorithm neglected most. Non-adaptive constructions use
+// plain Traces.
+type AdaptiveSource interface {
+	// N returns the number of resources; D the default deadline window.
+	N() int
+	D() int
+	// Next returns the alternative lists of the requests to inject at round
+	// t (empty for none). isServed reports whether the request with the
+	// given trace-wide ID has been fulfilled; IDs are assigned sequentially
+	// in injection order, so the source can track the IDs of its own
+	// requests by counting. Next is called for every round until it has
+	// returned Done.
+	Next(t int, isServed func(id int) bool) [][]int
+	// Done reports that no further requests will be injected at round t or
+	// later; the engine then runs the window dry and stops.
+	Done(t int) bool
+}
+
+// RunAdaptive simulates strategy s against an adaptive adversary and returns
+// the result together with the trace the adversary ended up generating (for
+// computing the offline optimum afterwards).
+func RunAdaptive(s Strategy, src AdaptiveSource) (*Result, *Trace) {
+	n, d := src.N(), src.D()
+	if n < 1 || d < 1 {
+		panic(fmt.Sprintf("core: adaptive source with n=%d d=%d", n, d))
+	}
+	w := NewWindow(n, d)
+	s.Begin(n, d)
+
+	tr := &Trace{N: n, D: d}
+	res := &Result{
+		Strategy:    s.Name(),
+		N:           n,
+		D:           d,
+		PerResource: make([]int, n),
+	}
+	served := make(map[int]bool)
+	isServed := func(id int) bool { return served[id] }
+
+	var pending []*Request
+	nextID := 0
+	injectionOver := false
+	drainUntil := 0
+
+	for t := 0; ; t++ {
+		// Expire.
+		live := pending[:0]
+		for _, r := range pending {
+			if r.Deadline() < t {
+				res.Expired++
+			} else {
+				live = append(live, r)
+			}
+		}
+		pending = live
+
+		// Inject.
+		var arrivals []*Request
+		if !injectionOver {
+			if src.Done(t) {
+				injectionOver = true
+				drainUntil = t + d
+			} else {
+				specs := src.Next(t, isServed)
+				tr.Arrivals = append(tr.Arrivals, make([]Request, len(specs)))
+				row := tr.Arrivals[t]
+				for i, alts := range specs {
+					row[i] = Request{
+						ID:     nextID,
+						Arrive: t,
+						Alts:   append([]int(nil), alts...),
+						D:      d,
+					}
+					nextID++
+					arrivals = append(arrivals, &row[i])
+					res.Requests++
+				}
+			}
+		}
+		if injectionOver {
+			tr.Arrivals = append(tr.Arrivals, nil)
+		}
+
+		pending = append(pending, arrivals...)
+		s.Round(&RoundContext{
+			T:        t,
+			N:        n,
+			D:        d,
+			Arrivals: arrivals,
+			Pending:  pending,
+			W:        w,
+		})
+
+		servedNow := make(map[int]bool)
+		for i := 0; i < n; i++ {
+			r := w.At(i, t)
+			if r == nil {
+				continue
+			}
+			w.Unassign(r)
+			served[r.ID] = true
+			servedNow[r.ID] = true
+			res.Fulfilled++
+			res.WeightFulfilled += r.Weight()
+			res.LatencySum += t - r.Arrive
+			res.PerResource[i]++
+			res.Log = append(res.Log, Fulfillment{Req: r, Res: i, Round: t})
+		}
+		if len(servedNow) > 0 {
+			live := pending[:0]
+			for _, r := range pending {
+				if !servedNow[r.ID] {
+					live = append(live, r)
+				}
+			}
+			pending = live
+		}
+		w.advance()
+
+		if injectionOver && t >= drainUntil && len(pending) == 0 {
+			break
+		}
+	}
+	res.Expired += len(pending)
+	// Trim trailing empty rounds so Trace.Horizon is tight.
+	for len(tr.Arrivals) > 0 && len(tr.Arrivals[len(tr.Arrivals)-1]) == 0 {
+		tr.Arrivals = tr.Arrivals[:len(tr.Arrivals)-1]
+	}
+	if ca, ok := s.(CommAccountant); ok {
+		res.CommRounds, res.Messages = ca.CommTotals()
+	}
+	return res, tr
+}

@@ -1,0 +1,234 @@
+package core
+
+import "fmt"
+
+// Strategy is an online scheduling strategy. The engine calls Begin once,
+// then Round for every round until the trace is exhausted and all windows
+// closed. A strategy fulfills requests by assigning them to slots of the
+// Window; whatever sits in the current row when Round returns is served.
+type Strategy interface {
+	// Name identifies the strategy in results and tables.
+	Name() string
+	// Begin resets the strategy for a run over n resources with default
+	// window d.
+	Begin(n, d int)
+	// Round is called once per round with the round context. The strategy
+	// may assign, move (unassign+assign), or leave requests unscheduled.
+	Round(ctx *RoundContext)
+}
+
+// RoundContext is everything a strategy may look at in round T. Global
+// strategies use all of it; local strategies are written against the
+// message-passing substrate and only touch the window through protocol
+// actions.
+type RoundContext struct {
+	// T is the current round.
+	T int
+	// N is the number of resources; D the default window length.
+	N, D int
+	// Arrivals are the requests injected this round, in ID order.
+	Arrivals []*Request
+	// Pending are all live requests (arrived, unfulfilled, deadline not yet
+	// passed), including Arrivals, in ID order. Some may hold future slots.
+	Pending []*Request
+	// W is the schedule window, positioned at round T.
+	W *Window
+}
+
+// Unassigned returns the pending requests that currently hold no slot, in ID
+// order.
+func (ctx *RoundContext) Unassigned() []*Request {
+	var out []*Request
+	for _, r := range ctx.Pending {
+		if !ctx.W.Assigned(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Fulfillment records that request Req was served by resource Res in round
+// Round. The engine's log of fulfillments is the online algorithm's matching
+// in the paper's bipartite graph G.
+type Fulfillment struct {
+	Req   *Request
+	Res   int
+	Round int
+}
+
+// Result aggregates one simulation run.
+type Result struct {
+	Strategy  string
+	N, D      int
+	Requests  int
+	Fulfilled int
+	Expired   int
+	// LatencySum is the sum over fulfilled requests of (service round -
+	// arrival round); divide by Fulfilled for the mean service delay.
+	LatencySum int
+	// WeightFulfilled sums the weights of fulfilled requests (equals
+	// Fulfilled on unweighted traces).
+	WeightFulfilled int
+	// PerResource[i] counts requests served by resource i.
+	PerResource []int
+	// Log is the full fulfillment schedule in service order.
+	Log []Fulfillment
+	// CommRounds and Messages are filled by local strategies (zero for
+	// global ones): total communication rounds used and messages sent.
+	CommRounds int
+	Messages   int
+}
+
+// MeanLatency returns the average service delay in rounds, or 0 if nothing
+// was fulfilled.
+func (res *Result) MeanLatency() float64 {
+	if res.Fulfilled == 0 {
+		return 0
+	}
+	return float64(res.LatencySum) / float64(res.Fulfilled)
+}
+
+// CommAccountant is implemented by strategies (the local ones) that consume
+// communication rounds and messages; the engine copies the totals into the
+// Result.
+type CommAccountant interface {
+	CommTotals() (rounds, messages int)
+}
+
+// run is the engine body shared by Run and RunWithSeries; series may be nil.
+func run(s Strategy, tr *Trace, series *Series) *Result {
+	if err := tr.Validate(); err != nil {
+		panic(err)
+	}
+	depth := tr.MaxD()
+	w := NewWindow(tr.N, depth)
+	s.Begin(tr.N, tr.D)
+
+	res := &Result{
+		Strategy:    s.Name(),
+		N:           tr.N,
+		D:           tr.D,
+		Requests:    tr.NumRequests(),
+		PerResource: make([]int, tr.N),
+	}
+
+	horizon := tr.Horizon()
+	var pending []*Request
+	for t := 0; t < horizon; t++ {
+		var rs RoundStats
+		rs.T = t
+		// 1. Expire requests whose deadline has passed. (Assigned requests
+		// can never expire: assignments are validated against deadlines and
+		// served when their slot becomes current.)
+		live := pending[:0]
+		for _, r := range pending {
+			if r.Deadline() < t {
+				res.Expired++
+				rs.Expired++
+			} else {
+				live = append(live, r)
+			}
+		}
+		pending = live
+
+		// 2. Receive new requests.
+		var arrivals []*Request
+		if t < len(tr.Arrivals) {
+			rs := tr.Arrivals[t]
+			arrivals = make([]*Request, len(rs))
+			for i := range rs {
+				arrivals[i] = &rs[i]
+			}
+		}
+		pending = append(pending, arrivals...)
+
+		// 3. Let the strategy (re)compute the schedule.
+		s.Round(&RoundContext{
+			T:        t,
+			N:        tr.N,
+			D:        tr.D,
+			Arrivals: arrivals,
+			Pending:  pending,
+			W:        w,
+		})
+
+		rs.Arrived = len(arrivals)
+
+		// 4. Serve the current row.
+		served := make(map[int]bool)
+		for i := 0; i < tr.N; i++ {
+			r := w.At(i, t)
+			if r == nil {
+				rs.Idle++
+				continue
+			}
+			w.Unassign(r)
+			res.Fulfilled++
+			res.WeightFulfilled += r.Weight()
+			res.LatencySum += t - r.Arrive
+			res.PerResource[i]++
+			res.Log = append(res.Log, Fulfillment{Req: r, Res: i, Round: t})
+			served[r.ID] = true
+		}
+		if len(served) > 0 {
+			live := pending[:0]
+			for _, r := range pending {
+				if !served[r.ID] {
+					live = append(live, r)
+				}
+			}
+			pending = live
+		}
+
+		if series != nil {
+			rs.Served = len(served)
+			rs.Pending = len(pending)
+			for _, r := range pending {
+				if !w.Assigned(r) {
+					rs.Backlog++
+				}
+			}
+			series.Rounds = append(series.Rounds, rs)
+		}
+
+		// 5. Slide the window.
+		w.advance()
+	}
+	res.Expired += len(pending)
+	for _, a := range w.Snapshot() {
+		panic(fmt.Sprintf("core: assignment %v survived past horizon", a))
+	}
+
+	if ca, ok := s.(CommAccountant); ok {
+		res.CommRounds, res.Messages = ca.CommTotals()
+	}
+	return res
+}
+
+// ValidateLog checks that a fulfillment log is a feasible schedule for the
+// trace: every request served at most once, within its window, at one of its
+// alternatives, and no resource serves two requests in one round. This is the
+// independent end-to-end check applied to every strategy in tests.
+func ValidateLog(tr *Trace, log []Fulfillment) error {
+	servedReq := make(map[int]bool)
+	servedSlot := make(map[[2]int]bool)
+	for _, f := range log {
+		r := f.Req
+		if servedReq[r.ID] {
+			return fmt.Errorf("core: request %d served twice", r.ID)
+		}
+		servedReq[r.ID] = true
+		if f.Round < r.Arrive || f.Round > r.Deadline() {
+			return fmt.Errorf("core: %v served at round %d outside window", r, f.Round)
+		}
+		if !r.HasAlt(f.Res) {
+			return fmt.Errorf("core: %v served by non-alternative %d", r, f.Res)
+		}
+		slot := [2]int{f.Res, f.Round}
+		if servedSlot[slot] {
+			return fmt.Errorf("core: slot (%d,%d) used twice", f.Res, f.Round)
+		}
+		servedSlot[slot] = true
+	}
+	return nil
+}

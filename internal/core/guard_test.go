@@ -1,0 +1,119 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// Failure injection at the strategy boundary: a buggy or malicious strategy
+// must be unable to express an invalid schedule — every illegal mutation
+// panics with a descriptive message. These tests drive the engine with
+// deliberately broken strategies.
+
+// badStrategy runs a single misbehaving action at a chosen round.
+type badStrategy struct {
+	at     int
+	action func(*RoundContext)
+}
+
+func (badStrategy) Name() string   { return "bad" }
+func (badStrategy) Begin(n, d int) {}
+func (s badStrategy) Round(ctx *RoundContext) {
+	if ctx.T == s.at {
+		s.action(ctx)
+	}
+}
+
+func expectEnginePanic(t *testing.T, substr string, s Strategy, tr *Trace) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", substr)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			if err, isErr := r.(error); isErr {
+				msg = err.Error()
+			} else {
+				t.Fatalf("panic of unexpected type: %v", r)
+			}
+		}
+		if !strings.Contains(msg, substr) {
+			t.Fatalf("panic %q does not mention %q", msg, substr)
+		}
+	}()
+	Run(s, tr)
+}
+
+func twoReqTrace() *Trace {
+	b := NewBuilder(2, 2)
+	b.Add(0, 0, 1)
+	b.Add(0, 1, 0)
+	return b.Build()
+}
+
+func TestEngineRejectsAssignToOccupiedSlot(t *testing.T) {
+	expectEnginePanic(t, "already holds", badStrategy{at: 0, action: func(ctx *RoundContext) {
+		ctx.W.Assign(ctx.Arrivals[0], 0, 0)
+		ctx.W.Assign(ctx.Arrivals[1], 0, 0)
+	}}, twoReqTrace())
+}
+
+func TestEngineRejectsDoubleAssign(t *testing.T) {
+	expectEnginePanic(t, "already assigned", badStrategy{at: 0, action: func(ctx *RoundContext) {
+		ctx.W.Assign(ctx.Arrivals[0], 0, 0)
+		ctx.W.Assign(ctx.Arrivals[0], 1, 1)
+	}}, twoReqTrace())
+}
+
+func TestEngineRejectsNonAlternative(t *testing.T) {
+	b := NewBuilder(3, 2)
+	b.Add(0, 0, 1)
+	tr := b.Build()
+	expectEnginePanic(t, "non-alternative", badStrategy{at: 0, action: func(ctx *RoundContext) {
+		ctx.W.Assign(ctx.Arrivals[0], 2, 0)
+	}}, tr)
+}
+
+func TestEngineRejectsPastDeadline(t *testing.T) {
+	b := NewBuilder(2, 4)
+	b.AddWindow(0, 1, 0, 1) // deadline round 0
+	tr := b.Build()
+	expectEnginePanic(t, "past deadline", badStrategy{at: 0, action: func(ctx *RoundContext) {
+		ctx.W.Assign(ctx.Arrivals[0], 0, 1)
+	}}, tr)
+}
+
+func TestEngineRejectsOutsideWindow(t *testing.T) {
+	expectEnginePanic(t, "outside window", badStrategy{at: 0, action: func(ctx *RoundContext) {
+		ctx.W.Assign(ctx.Arrivals[0], 0, 5)
+	}}, twoReqTrace())
+}
+
+func TestEngineRejectsInvalidTrace(t *testing.T) {
+	tr := twoReqTrace()
+	tr.Arrivals[0][0].Alts = []int{0, 0}
+	expectEnginePanic(t, "repeats", greedyFirstFit{}, tr)
+}
+
+func TestEngineToleratesDoNothingStrategy(t *testing.T) {
+	// A strategy that never assigns anything is legal: everything expires.
+	res := Run(badStrategy{at: -1}, twoReqTrace())
+	if res.Fulfilled != 0 || res.Expired != 2 {
+		t.Fatalf("do-nothing: %d/%d", res.Fulfilled, res.Expired)
+	}
+}
+
+func TestEngineToleratesUnassignEverything(t *testing.T) {
+	// A strategy that assigns then immediately unassigns leaves clean state.
+	s := badStrategy{at: 0, action: func(ctx *RoundContext) {
+		r := ctx.Arrivals[0]
+		ctx.W.Assign(r, 0, 0)
+		ctx.W.Unassign(r)
+	}}
+	res := Run(s, twoReqTrace())
+	if res.Fulfilled != 0 || res.Expired != 2 {
+		t.Fatalf("assign+unassign: %d/%d", res.Fulfilled, res.Expired)
+	}
+}

@@ -1,0 +1,74 @@
+// Package core defines the scheduling model of the paper: synchronized
+// rounds, n resources serving one request per round, and requests that name
+// two (or, as an extension, c) alternative resources and must be served within
+// a window of d rounds from arrival. It provides the round engine that drives
+// an online Strategy over a Trace and the validity checks that every schedule
+// must pass.
+package core
+
+import "fmt"
+
+// Request is one unit-size request. It arrives in round Arrive, names the
+// alternative resources Alts (the paper's model has exactly two; EDF supports
+// any c >= 1 as the extension discussed with Observation 3.2), and must be
+// fulfilled during rounds Arrive .. Arrive+D-1.
+type Request struct {
+	// ID is the request's position in the trace-wide arrival order: requests
+	// are numbered first by arrival round, then by injection order within the
+	// round. Strategies break ties by ID, which is what lets the adversary
+	// constructions steer them.
+	ID int
+	// Arrive is the arrival round.
+	Arrive int
+	// Alts lists the alternative resources in preference order. Strategies
+	// explore alternatives in this order; the adversary chooses the order.
+	Alts []int
+	// D is the deadline window length in rounds (>= 1).
+	D int
+	// W is the request's weight for the weighted extension (0 means the
+	// default weight 1; the paper's model is unweighted). The weighted
+	// objective maximizes the total weight served.
+	W int
+}
+
+// Weight returns the request's effective weight (>= 1).
+func (r *Request) Weight() int {
+	if r.W <= 0 {
+		return 1
+	}
+	return r.W
+}
+
+// Deadline returns the last round in which the request may be fulfilled.
+func (r *Request) Deadline() int { return r.Arrive + r.D - 1 }
+
+// HasAlt reports whether resource i is one of the request's alternatives.
+func (r *Request) HasAlt(i int) bool {
+	for _, a := range r.Alts {
+		if a == i {
+			return true
+		}
+	}
+	return false
+}
+
+// Other returns the alternative different from resource i. It panics unless
+// the request has exactly two alternatives and i is one of them; it exists for
+// the two-choice protocols (local strategies) that bounce a rejected request
+// to "the other" resource.
+func (r *Request) Other(i int) int {
+	if len(r.Alts) != 2 {
+		panic(fmt.Sprintf("core: Other on request %d with %d alternatives", r.ID, len(r.Alts)))
+	}
+	switch i {
+	case r.Alts[0]:
+		return r.Alts[1]
+	case r.Alts[1]:
+		return r.Alts[0]
+	}
+	panic(fmt.Sprintf("core: resource %d is not an alternative of request %d", i, r.ID))
+}
+
+func (r *Request) String() string {
+	return fmt.Sprintf("req %d (t=%d, alts=%v, d=%d)", r.ID, r.Arrive, r.Alts, r.D)
+}

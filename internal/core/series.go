@@ -1,0 +1,58 @@
+package core
+
+// RoundStats aggregates one simulation round for time-series analysis.
+type RoundStats struct {
+	// T is the round index.
+	T int
+	// Arrived counts requests injected this round; Served those fulfilled;
+	// Expired those whose deadline passed at the start of the round.
+	Arrived, Served, Expired int
+	// Pending counts live requests after the round (still waiting).
+	Pending int
+	// Backlog counts pending requests that hold no future slot.
+	Backlog int
+	// Idle counts resources that served nothing this round.
+	Idle int
+}
+
+// Series is the per-round trace of a run, used by cmd/schedsim -series and
+// the burst-analysis example.
+type Series struct {
+	Rounds []RoundStats
+}
+
+// PeakPending returns the largest pending count over the run.
+func (s *Series) PeakPending() int {
+	peak := 0
+	for _, r := range s.Rounds {
+		if r.Pending > peak {
+			peak = r.Pending
+		}
+	}
+	return peak
+}
+
+// TotalIdle returns the total number of idle resource-rounds.
+func (s *Series) TotalIdle() int {
+	total := 0
+	for _, r := range s.Rounds {
+		total += r.Idle
+	}
+	return total
+}
+
+// RunWithSeries behaves exactly like Run but also records per-round
+// statistics. Run's own results are unaffected (the collector is observe-
+// only); tests assert both entry points produce identical schedules.
+func RunWithSeries(s Strategy, tr *Trace) (*Result, *Series) {
+	series := &Series{}
+	res := run(s, tr, series)
+	return res, series
+}
+
+// Run simulates strategy s over trace tr and returns the result. The trace
+// must be valid; Run panics on an invalid trace since that is a programming
+// error in a generator, not an input condition.
+func Run(s Strategy, tr *Trace) *Result {
+	return run(s, tr, nil)
+}

@@ -1,0 +1,177 @@
+package core
+
+import "fmt"
+
+// Window is the sliding schedule the engine maintains: for each resource, the
+// assignments to the next `depth` rounds (the current round t through
+// t+depth-1). Strategies mutate it during their Round callback; at the end of
+// the round the engine fulfills every request assigned to the current row and
+// slides the window forward.
+//
+// All mutations are validated: a request can only be assigned to a free slot
+// of one of its alternative resources, within [current round, deadline], and
+// only while unassigned. This makes an invalid schedule impossible to express,
+// which is the first of the reproduction's global invariants.
+type Window struct {
+	n     int
+	depth int
+	t     int          // current round
+	rows  [][]*Request // rows[t' % depth][i]
+	where map[int]slotRef
+}
+
+type slotRef struct{ res, round int }
+
+// NewWindow returns a window over n resources looking depth rounds ahead,
+// positioned at round 0.
+func NewWindow(n, depth int) *Window {
+	w := &Window{
+		n:     n,
+		depth: depth,
+		rows:  make([][]*Request, depth),
+		where: make(map[int]slotRef),
+	}
+	for i := range w.rows {
+		w.rows[i] = make([]*Request, n)
+	}
+	return w
+}
+
+// N returns the number of resources.
+func (w *Window) N() int { return w.n }
+
+// Depth returns the lookahead depth in rounds.
+func (w *Window) Depth() int { return w.depth }
+
+// Round returns the current round t. Valid slot rounds are t .. t+Depth()-1.
+func (w *Window) Round() int { return w.t }
+
+func (w *Window) row(round int) []*Request {
+	if round < w.t || round >= w.t+w.depth {
+		panic(fmt.Sprintf("core: slot round %d outside window [%d,%d)", round, w.t, w.t+w.depth))
+	}
+	return w.rows[round%w.depth]
+}
+
+// At returns the request assigned to resource res at the given round, or nil.
+func (w *Window) At(res, round int) *Request { return w.row(round)[res] }
+
+// Free reports whether the slot (res, round) is unassigned.
+func (w *Window) Free(res, round int) bool { return w.row(round)[res] == nil }
+
+// AssignmentOf returns where request r is currently assigned.
+func (w *Window) AssignmentOf(r *Request) (res, round int, ok bool) {
+	ref, ok := w.where[r.ID]
+	return ref.res, ref.round, ok
+}
+
+// Assigned reports whether request r currently holds a slot.
+func (w *Window) Assigned(r *Request) bool {
+	_, ok := w.where[r.ID]
+	return ok
+}
+
+// Assign gives the slot (res, round) to request r. It panics if the slot is
+// occupied, outside the window, past the request's deadline, before its
+// arrival, not one of its alternatives, or if r is already assigned (call
+// Unassign first to move a request).
+func (w *Window) Assign(r *Request, res, round int) {
+	row := w.row(round)
+	if res < 0 || res >= w.n {
+		panic(fmt.Sprintf("core: resource %d outside [0,%d)", res, w.n))
+	}
+	if row[res] != nil {
+		panic(fmt.Sprintf("core: slot (%d,%d) already holds %v", res, round, row[res]))
+	}
+	if round > r.Deadline() {
+		panic(fmt.Sprintf("core: %v assigned past deadline at round %d", r, round))
+	}
+	if round < r.Arrive {
+		panic(fmt.Sprintf("core: %v assigned before arrival at round %d", r, round))
+	}
+	if !r.HasAlt(res) {
+		panic(fmt.Sprintf("core: %v assigned to non-alternative %d", r, res))
+	}
+	if ref, ok := w.where[r.ID]; ok {
+		panic(fmt.Sprintf("core: %v already assigned at (%d,%d)", r, ref.res, ref.round))
+	}
+	row[res] = r
+	w.where[r.ID] = slotRef{res, round}
+}
+
+// Unassign releases the slot held by r, if any.
+func (w *Window) Unassign(r *Request) {
+	ref, ok := w.where[r.ID]
+	if !ok {
+		return
+	}
+	w.rows[ref.round%w.depth][ref.res] = nil
+	delete(w.where, r.ID)
+}
+
+// Snapshot returns all current assignments. The order is deterministic:
+// ascending (round, resource).
+func (w *Window) Snapshot() []Assignment {
+	out := make([]Assignment, 0, len(w.where))
+	for round := w.t; round < w.t+w.depth; round++ {
+		row := w.rows[round%w.depth]
+		for res, r := range row {
+			if r != nil {
+				out = append(out, Assignment{Req: r, Res: res, Round: round})
+			}
+		}
+	}
+	return out
+}
+
+// Reset clears every assignment in the window. Strategies that recompute
+// their matching from scratch each round (A_eager, A_balance) snapshot, reset
+// and re-apply.
+func (w *Window) Reset() {
+	for _, row := range w.rows {
+		for i := range row {
+			row[i] = nil
+		}
+	}
+	w.where = make(map[int]slotRef)
+}
+
+// FreeSlotsFor returns the free slots request r could take right now, in
+// preference order: alternatives in listed order, then ascending round. This
+// is the deterministic "first listed alternative, earliest slot" tie-break
+// the adversary constructions rely on.
+func (w *Window) FreeSlotsFor(r *Request) []Assignment {
+	var out []Assignment
+	last := r.Deadline()
+	if max := w.t + w.depth - 1; last > max {
+		last = max
+	}
+	for _, res := range r.Alts {
+		for round := w.t; round <= last; round++ {
+			if w.Free(res, round) {
+				out = append(out, Assignment{Req: r, Res: res, Round: round})
+			}
+		}
+	}
+	return out
+}
+
+// advance slides the window one round forward. The engine calls this after
+// consuming the current row; the row must already be empty.
+func (w *Window) advance() {
+	row := w.rows[w.t%w.depth]
+	for i, r := range row {
+		if r != nil {
+			panic(fmt.Sprintf("core: advancing over unconsumed slot (%d,%d)=%v", i, w.t, r))
+		}
+	}
+	w.t++
+}
+
+// Assignment records that a request holds (or held) the slot of resource Res
+// in round Round.
+type Assignment struct {
+	Req   *Request
+	Res   int
+	Round int
+}

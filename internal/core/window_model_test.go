@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Model-based testing of the Window: drive it with random valid operation
+// sequences and compare every observation against a trivially correct
+// map-based reference model.
+
+type refModel struct {
+	n, depth int
+	t        int
+	slots    map[[2]int]int // (res, round) -> request ID
+	where    map[int][2]int
+}
+
+func newRefModel(n, depth int) *refModel {
+	return &refModel{n: n, depth: depth, slots: map[[2]int]int{}, where: map[int][2]int{}}
+}
+
+func (m *refModel) assign(id, res, round int) {
+	m.slots[[2]int{res, round}] = id
+	m.where[id] = [2]int{res, round}
+}
+
+func (m *refModel) unassign(id int) {
+	if loc, ok := m.where[id]; ok {
+		delete(m.slots, loc)
+		delete(m.where, id)
+	}
+}
+
+func (m *refModel) advance() { m.t++ }
+
+func TestWindowAgainstReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(120))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(4)
+		depth := 1 + rng.Intn(5)
+		w := NewWindow(n, depth)
+		ref := newRefModel(n, depth)
+
+		// Requests with generous windows so assignments are legal anywhere
+		// within the sliding window.
+		reqs := make([]*Request, 30)
+		for i := range reqs {
+			alts := rng.Perm(n)
+			reqs[i] = &Request{ID: i, Arrive: 0, Alts: alts, D: 1 << 20}
+		}
+
+		for step := 0; step < 300; step++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // assign a random unassigned request to a free slot
+				r := reqs[rng.Intn(len(reqs))]
+				if w.Assigned(r) {
+					continue
+				}
+				res := r.Alts[rng.Intn(len(r.Alts))]
+				round := w.Round() + rng.Intn(depth)
+				if !w.Free(res, round) {
+					continue
+				}
+				w.Assign(r, res, round)
+				ref.assign(r.ID, res, round)
+			case 4, 5: // unassign a random request
+				r := reqs[rng.Intn(len(reqs))]
+				w.Unassign(r)
+				ref.unassign(r.ID)
+			case 6: // advance: clear the current row in both first
+				for res := 0; res < n; res++ {
+					if rr := w.At(res, w.Round()); rr != nil {
+						w.Unassign(rr)
+						ref.unassign(rr.ID)
+					}
+				}
+				w.advance()
+				ref.advance()
+			case 7: // snapshot cross-check
+				snap := w.Snapshot()
+				if len(snap) != len(ref.where) {
+					t.Fatalf("trial %d step %d: snapshot %d vs model %d",
+						trial, step, len(snap), len(ref.where))
+				}
+				for _, a := range snap {
+					if loc, ok := ref.where[a.Req.ID]; !ok || loc != [2]int{a.Res, a.Round} {
+						t.Fatalf("trial %d: snapshot disagrees for request %d", trial, a.Req.ID)
+					}
+				}
+			default: // point observations
+				res := rng.Intn(n)
+				round := w.Round() + rng.Intn(depth)
+				id, occupied := ref.slots[[2]int{res, round}]
+				got := w.At(res, round)
+				if occupied != (got != nil) {
+					t.Fatalf("trial %d step %d: At(%d,%d) = %v, model occupied=%v",
+						trial, step, res, round, got, occupied)
+				}
+				if occupied && got.ID != id {
+					t.Fatalf("trial %d: occupant mismatch %d vs %d", trial, got.ID, id)
+				}
+				if w.Free(res, round) == occupied {
+					t.Fatalf("trial %d: Free disagrees with model", trial)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadValidConfig(t *testing.T) {
+	js := `{
+		"name": "smoke",
+		"workload": {"kind": "zipf", "n": 6, "d": 3, "rounds": 20, "rate": 7, "zipf": 1.5},
+		"strategies": ["A_balance", "A_fix", "EDF"],
+		"seeds": 3
+	}`
+	c, err := Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows %d", len(rep.Rows))
+	}
+	// Sorted best-first: A_balance should not be last.
+	if rep.Rows[len(rep.Rows)-1].Strategy == "A_balance" {
+		t.Fatalf("A_balance ranked last: %v", rep.Rows)
+	}
+	for _, row := range rep.Rows {
+		if row.Summary.Ratio.Mean() < 1 {
+			t.Fatalf("%s mean ratio < 1", row.Strategy)
+		}
+	}
+	out := rep.Format()
+	if !strings.Contains(out, "smoke") || !strings.Contains(out, "A_balance") {
+		t.Fatalf("format missing fields:\n%s", out)
+	}
+}
+
+func TestLoadDefaultsAllStrategies(t *testing.T) {
+	js := `{"workload": {"kind": "uniform", "n": 4, "d": 2, "rounds": 10}}`
+	c, err := Load(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Strategies) < 10 {
+		t.Fatalf("default strategy list too short: %v", c.Strategies)
+	}
+	if c.Seeds != 1 || c.Workload.Rate != 4 {
+		t.Fatalf("defaults wrong: seeds=%d rate=%f", c.Seeds, c.Workload.Rate)
+	}
+}
+
+func TestLoadRejectsBadConfigs(t *testing.T) {
+	cases := []string{
+		`{bad json`,
+		`{"workload": {"kind": "nope", "n": 2, "d": 2, "rounds": 5}}`,
+		`{"workload": {"kind": "uniform", "n": 0, "d": 2, "rounds": 5}}`,
+		`{"workload": {"kind": "uniform", "n": 2, "d": 2, "rounds": 5}, "strategies": ["bogus"]}`,
+		`{"workload": {"kind": "cchoice", "n": 2, "d": 2, "rounds": 5, "choices": 5}}`,
+		`{"workload": {"kind": "uniform", "n": 2, "d": 2, "rounds": 5}, "typo": 1}`,
+	}
+	for i, js := range cases {
+		if _, err := Load(strings.NewReader(js)); err == nil {
+			t.Fatalf("case %d accepted: %s", i, js)
+		}
+	}
+}
+
+func TestRunEveryWorkloadKind(t *testing.T) {
+	for _, kind := range []string{"uniform", "zipf", "bursty", "video", "single", "cchoice", "mixed"} {
+		c := &Config{
+			Workload:   WorkloadSpec{Kind: kind, N: 4, D: 2, Rounds: 8, Rate: 4, Choices: 2},
+			Strategies: []string{"A_balance"},
+		}
+		rep, err := c.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if rep.MeanOptimum <= 0 {
+			t.Fatalf("%s: empty optimum", kind)
+		}
+	}
+}
+
+func TestRunIncludesLocalStrategies(t *testing.T) {
+	c := &Config{
+		Workload:   WorkloadSpec{Kind: "uniform", N: 4, D: 3, Rounds: 10, Rate: 5},
+		Strategies: []string{"A_local_fix", "A_local_eager"},
+		Seeds:      2,
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows %d", len(rep.Rows))
+	}
+}
+
+func TestRunTrapMix(t *testing.T) {
+	c := &Config{
+		Workload:   WorkloadSpec{Kind: "trapmix", N: 8, D: 4, Rounds: 40, Rate: 4},
+		Strategies: []string{"A_fix", "A_balance"},
+		Seeds:      2,
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted best-first: the rescheduler must beat the fixer on traps.
+	if rep.Rows[0].Strategy != "A_balance" {
+		t.Fatalf("expected A_balance first, got %v", rep.Rows[0].Strategy)
+	}
+}

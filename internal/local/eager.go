@@ -1,0 +1,282 @@
+package local
+
+import (
+	"reqsched/internal/commnet"
+	"reqsched/internal/core"
+)
+
+// Eager is A_local_eager (Section 3.2): a three-phase message protocol that
+// achieves a competitive ratio of at most 5/3 (Theorem 3.8) using at most
+// nine communication rounds per scheduling round:
+//
+//   - Phase 1 (2 rounds): like A_local_fix, but *all* unscheduled requests
+//     (old and new) are sent, first to their first alternative, failures to
+//     the second.
+//   - Phase 2 (2 rounds): every request scheduled at a future slot pings its
+//     other alternative; a resource whose current slot is unused acknowledges
+//     one of them, which then cancels its old reservation and is served
+//     immediately — no current slot stays idle while some scheduled request
+//     could use it.
+//   - Phase 3 (5 rounds): every still-unscheduled request q "rivals" at its
+//     alternatives in turn: the resource names the request r occupying its
+//     current slot and r's other resource S_r; q proposes r to S_r; if S_r
+//     accepts, q uses a high-priority tagged message to take r's place in the
+//     current slot. The confirm round of the first alternative overlaps the
+//     send round of the second, exactly as in the paper.
+//
+// With the WideMailbox option the per-resource receive capacity is 2d-2
+// instead of d, which (per the paper's note) lets the last round of Phase 2
+// overlap the first of Phase 3, saving one communication round.
+type Eager struct {
+	transcripting
+	wide bool
+	d    int
+}
+
+// NewEager returns the A_local_eager strategy with mailbox capacity d.
+func NewEager() *Eager { return &Eager{} }
+
+// NewEagerWide returns the variant with mailbox capacity 2d-2, which runs in
+// eight communication rounds per scheduling round instead of nine.
+func NewEagerWide() *Eager { return &Eager{wide: true} }
+
+// Name implements core.Strategy.
+func (s *Eager) Name() string {
+	if s.wide {
+		return "A_local_eager_wide"
+	}
+	return "A_local_eager"
+}
+
+// Begin implements core.Strategy.
+func (s *Eager) Begin(n, d int) {
+	capacity := d
+	if s.wide {
+		if capacity = 2*d - 2; capacity < 1 {
+			capacity = 1
+		}
+	}
+	s.begin(n, capacity)
+	s.d = d
+}
+
+// CommTotals implements core.CommAccountant.
+func (s *Eager) CommTotals() (rounds, messages int) { return s.nw.Totals() }
+
+// Round implements core.Strategy.
+func (s *Eager) Round(ctx *core.RoundContext) {
+	// Phase 1: all unscheduled requests try both alternatives.
+	failed := sendToAlternative(s.nw, ctx, ctx.Unassigned(), 0)
+	failed = sendToAlternative(s.nw, ctx, failed, 1)
+
+	// Phase 2: pull scheduled requests forward into idle current slots.
+	s.pullForward(ctx)
+
+	// Phase 3: rival exchanges, first alternative then second. The confirm
+	// round of the first sub-phase shares a communication round with the
+	// send round of the second.
+	pending0 := s.rivalSend(ctx, failed, 0)
+	deals0 := s.rivalPropose(ctx, pending0)
+	// Round 3 of the phase: confirms of sub-phase 0 + sends of sub-phase 1.
+	// Requests whose exchange was acknowledged know they will be seated and
+	// do not re-send.
+	known := scheduledSet(ctx, failed)
+	for _, dl := range deals0 {
+		known[dl.Q.ID] = true
+	}
+	pending1 := s.confirmAndSend(ctx, deals0, subtract(failed, known))
+	deals1 := s.rivalPropose(ctx, pending1)
+	s.confirmAndSend(ctx, deals1, nil)
+}
+
+// pullForward implements Phase 2. Two communication rounds: the ping (every
+// future-scheduled request to its other alternative) and the cancel+move of
+// the acknowledged requests.
+func (s *Eager) pullForward(ctx *core.RoundContext) {
+	to := make([][]commnet.Msg, ctx.N)
+	for _, a := range ctx.W.Snapshot() {
+		if a.Round <= ctx.T || len(a.Req.Alts) != 2 {
+			continue
+		}
+		other := a.Req.Other(a.Res)
+		to[other] = append(to[other], commnet.Msg{Req: a.Req})
+	}
+	received, _ := s.nw.Deliver(to)
+
+	cancels := make([][]commnet.Msg, ctx.N)
+	var moves []*core.Request
+	for i := 0; i < ctx.N; i++ {
+		if !ctx.W.Free(i, ctx.T) || len(received[i]) == 0 {
+			continue
+		}
+		// Acknowledge one request (the first in admission order) and move
+		// it to the current slot.
+		r := received[i][0].Req
+		prevRes, _, ok := ctx.W.AssignmentOf(r)
+		if !ok {
+			continue
+		}
+		cancels[prevRes] = append(cancels[prevRes], commnet.Msg{Req: r})
+		moves = append(moves, r)
+		// Reserve immediately so a later resource in this loop does not
+		// also serve r — each request pinged exactly one resource, so this
+		// cannot happen, but the reservation keeps the invariant local.
+		ctx.W.Unassign(r)
+		ctx.W.Assign(r, i, ctx.T)
+	}
+	if len(moves) > 0 {
+		s.nw.Deliver(cancels)
+	}
+}
+
+// rival is one Phase 3 negotiation: the unscheduled request Q rivals at
+// resource Res, which nominated the current-slot occupant R to be moved to
+// its other alternative.
+type rival struct {
+	Q   *core.Request
+	Res int
+	R   *core.Request
+}
+
+// rivalSend implements the first communication round of a Phase 3 sub-phase:
+// unscheduled requests contact their alternative `alt`; each resource selects
+// one rival and nominates its current-slot occupant. Requests whose resource
+// has a free current slot are simply accepted on the spot (the resource
+// behaves as in Phase 1; this only arises when mailbox overflow dropped them
+// earlier).
+func (s *Eager) rivalSend(ctx *core.RoundContext, reqs []*core.Request, alt int) []rival {
+	to := make([][]commnet.Msg, ctx.N)
+	for _, q := range reqs {
+		if ctx.W.Assigned(q) || alt >= len(q.Alts) || len(q.Alts) != 2 {
+			continue
+		}
+		dest := q.Alts[alt]
+		to[dest] = append(to[dest], commnet.Msg{Req: q})
+	}
+	received, _ := s.nw.Deliver(to)
+	var deals []rival
+	for i := 0; i < ctx.N; i++ {
+		if len(received[i]) == 0 {
+			continue
+		}
+		if ctx.W.Free(i, ctx.T) {
+			// Degenerate case: the slot is idle after Phase 2, so serve the
+			// first admitted rival directly.
+			q := received[i][0].Req
+			ctx.W.Assign(q, i, ctx.T)
+			continue
+		}
+		r := ctx.W.At(i, ctx.T)
+		if len(r.Alts) != 2 {
+			continue // occupant has nowhere to move
+		}
+		deals = append(deals, rival{Q: received[i][0].Req, Res: i, R: r})
+	}
+	return deals
+}
+
+// rivalPropose implements the second communication round of a sub-phase:
+// each selected rival q proposes the occupant R to R's other resource, which
+// accepts as many proposals as it can schedule. Accepted occupants move
+// immediately (the paper: "an acknowledgment received by q implies that
+// request r is scheduled by S_r"); the corresponding deals are returned for
+// the confirm round.
+func (s *Eager) rivalPropose(ctx *core.RoundContext, deals []rival) []rival {
+	if len(deals) == 0 {
+		return nil
+	}
+	to := make([][]commnet.Msg, ctx.N)
+	byMsg := make(map[*core.Request]rival, len(deals))
+	for _, dl := range deals {
+		sr := dl.R.Other(dl.Res)
+		to[sr] = append(to[sr], commnet.Msg{Req: dl.Q, Payload: dl.R})
+		byMsg[dl.Q] = dl
+	}
+	received, _ := s.nw.Deliver(to)
+	var acked []rival
+	for j := 0; j < ctx.N; j++ {
+		for _, m := range received[j] {
+			dl := byMsg[m.Req]
+			r := m.Payload
+			round, ok := earliestFree(ctx.W, j, r)
+			if !ok {
+				continue // no acknowledgment: q stays unsuccessful
+			}
+			ctx.W.Unassign(r)
+			ctx.W.Assign(r, j, round)
+			acked = append(acked, dl)
+		}
+	}
+	return acked
+}
+
+// confirmAndSend implements the shared third communication round: acked
+// rivals send the high-priority exchange message to claim the vacated
+// current slot, while the still-unsuccessful requests of the next sub-phase
+// send their initial rival messages. Returns the next sub-phase's deals.
+func (s *Eager) confirmAndSend(ctx *core.RoundContext, acked []rival, nextReqs []*core.Request) []rival {
+	to := make([][]commnet.Msg, ctx.N)
+	for _, dl := range acked {
+		to[dl.Res] = append(to[dl.Res], commnet.Msg{Req: dl.Q, Priority: true})
+	}
+	for _, q := range nextReqs {
+		if ctx.W.Assigned(q) || len(q.Alts) != 2 {
+			continue
+		}
+		to[q.Alts[1]] = append(to[q.Alts[1]], commnet.Msg{Req: q})
+	}
+	received, _ := s.nw.Deliver(to)
+	var deals []rival
+	for i := 0; i < ctx.N; i++ {
+		rivals := received[i][:0:0]
+		for _, m := range received[i] {
+			if m.Priority {
+				// Exchange: the occupant already moved in rivalPropose, so
+				// the current slot is free for q.
+				if ctx.W.Free(i, ctx.T) && !ctx.W.Assigned(m.Req) {
+					ctx.W.Assign(m.Req, i, ctx.T)
+				}
+			} else {
+				rivals = append(rivals, m)
+			}
+		}
+		if len(rivals) == 0 {
+			continue
+		}
+		if ctx.W.Free(i, ctx.T) {
+			q := rivals[0].Req
+			if !ctx.W.Assigned(q) {
+				ctx.W.Assign(q, i, ctx.T)
+			}
+			continue
+		}
+		r := ctx.W.At(i, ctx.T)
+		if len(r.Alts) != 2 {
+			continue
+		}
+		deals = append(deals, rival{Q: rivals[0].Req, Res: i, R: r})
+	}
+	return deals
+}
+
+// scheduledSet returns the subset of reqs that are now scheduled.
+func scheduledSet(ctx *core.RoundContext, reqs []*core.Request) map[int]bool {
+	set := make(map[int]bool)
+	for _, r := range reqs {
+		if ctx.W.Assigned(r) {
+			set[r.ID] = true
+		}
+	}
+	return set
+}
+
+// subtract returns reqs minus the IDs in drop, preserving order.
+func subtract(reqs []*core.Request, drop map[int]bool) []*core.Request {
+	var out []*core.Request
+	for _, r := range reqs {
+		if !drop[r.ID] {
+			out = append(out, r)
+		}
+	}
+	return out
+}

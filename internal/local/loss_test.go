@@ -1,0 +1,114 @@
+package local
+
+import (
+	"testing"
+
+	"reqsched/internal/core"
+	"reqsched/internal/workload"
+)
+
+// Failure injection: with lossy links the local protocols must degrade
+// gracefully — schedules stay valid (structural impossibility of anything
+// else), throughput drops with the loss rate, and zero loss reproduces the
+// baseline exactly.
+
+func lossTrace(seed int64) *core.Trace {
+	return workload.Uniform(workload.Config{N: 6, D: 4, Rounds: 40, Rate: 9, Seed: seed})
+}
+
+func TestZeroLossMatchesBaseline(t *testing.T) {
+	tr := lossTrace(1)
+	base := core.Run(NewFix(), tr)
+	s := NewFix()
+	s.InjectLoss(0, 42)
+	withZero := core.Run(s, tr)
+	if base.Fulfilled != withZero.Fulfilled {
+		t.Fatalf("zero loss changed outcome: %d vs %d", base.Fulfilled, withZero.Fulfilled)
+	}
+	if s.MessagesLost() != 0 {
+		t.Fatalf("lost %d messages at rate 0", s.MessagesLost())
+	}
+}
+
+func TestLossDegradesGracefully(t *testing.T) {
+	for _, mk := range []func() interface {
+		core.Strategy
+		InjectLoss(float64, int64)
+		MessagesLost() int
+	}{
+		func() interface {
+			core.Strategy
+			InjectLoss(float64, int64)
+			MessagesLost() int
+		} {
+			return NewFix()
+		},
+		func() interface {
+			core.Strategy
+			InjectLoss(float64, int64)
+			MessagesLost() int
+		} {
+			return NewEager()
+		},
+	} {
+		tr := lossTrace(2)
+		baseline := core.Run(mk(), tr).Fulfilled
+
+		prev := baseline
+		for _, rate := range []float64{0.1, 0.3, 0.6} {
+			s := mk()
+			s.InjectLoss(rate, 7)
+			res := core.Run(s, tr)
+			if err := core.ValidateLog(tr, res.Log); err != nil {
+				t.Fatalf("%s rate %.1f: %v", s.Name(), rate, err)
+			}
+			if s.MessagesLost() == 0 {
+				t.Fatalf("%s rate %.1f: no messages lost", s.Name(), rate)
+			}
+			if res.Fulfilled > baseline {
+				t.Fatalf("%s rate %.1f: loss improved throughput %d > %d",
+					s.Name(), rate, res.Fulfilled, baseline)
+			}
+			// Monotone degradation holds in aggregate; allow slack of 5%
+			// of the baseline for single-seed noise.
+			if float64(res.Fulfilled) > float64(prev)+0.05*float64(baseline) {
+				t.Fatalf("%s: throughput rose from %d to %d as loss increased",
+					s.Name(), prev, res.Fulfilled)
+			}
+			prev = res.Fulfilled
+		}
+		// Severe loss must still serve something (first tries get through
+		// with probability 0.4).
+		if prev == 0 {
+			t.Fatal("total collapse at 60% loss")
+		}
+	}
+}
+
+func TestLossDeterministicPerSeed(t *testing.T) {
+	tr := lossTrace(3)
+	run := func() int {
+		s := NewEager()
+		s.InjectLoss(0.25, 99)
+		return core.Run(s, tr).Fulfilled
+	}
+	if run() != run() {
+		t.Fatal("lossy run not deterministic per seed")
+	}
+}
+
+func TestLocalEagerRecoversSomeLossViaRetries(t *testing.T) {
+	// A_local_eager re-sends every unscheduled request each scheduling
+	// round (Phase 1 sends *all* unscheduled), so it should tolerate loss
+	// better than A_local_fix, which gives a request only one chance.
+	tr := lossTrace(4)
+	fix := NewFix()
+	fix.InjectLoss(0.3, 5)
+	eager := NewEager()
+	eager.InjectLoss(0.3, 5)
+	f := core.Run(fix, tr)
+	e := core.Run(eager, tr)
+	if e.Fulfilled <= f.Fulfilled {
+		t.Fatalf("retrying protocol served %d, one-shot %d", e.Fulfilled, f.Fulfilled)
+	}
+}

@@ -1,0 +1,158 @@
+package matching
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Benchmarks for the matching substrate: the offline optimum spends its time
+// in Hopcroft–Karp over request/slot graphs and the strategies in the
+// weight-class greedy, so their scaling matters for large reproductions.
+
+func benchGraphs(b *testing.B, build func(rng *rand.Rand) *Graph) []*Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	gs := make([]*Graph, 8)
+	for i := range gs {
+		gs[i] = build(rng)
+	}
+	return gs
+}
+
+func BenchmarkHopcroftKarp(b *testing.B) {
+	for _, size := range []struct {
+		name        string
+		nl, nRes, d int
+	}{
+		{"1k", 1000, 16, 8},
+		{"10k", 10000, 32, 8},
+		{"50k", 50000, 64, 8},
+	} {
+		size := size
+		b.Run(size.name, func(b *testing.B) {
+			gs := benchGraphs(b, func(rng *rand.Rand) *Graph {
+				return twoChoiceGraph(rng, size.nl, size.nRes, size.d)
+			})
+			b.ResetTimer()
+			var total int
+			for i := 0; i < b.N; i++ {
+				total += HopcroftKarp(gs[i%len(gs)]).Size()
+			}
+			b.ReportMetric(float64(gs[0].NumEdges()), "edges")
+		})
+	}
+}
+
+func BenchmarkKuhnVsHK(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := twoChoiceGraph(rng, 20000, 32, 6)
+	b.Run("Kuhn", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Kuhn(g)
+		}
+	})
+	b.Run("HopcroftKarp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			HopcroftKarp(g)
+		}
+	})
+	b.Run("DinicFlow", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MaxMatchingByFlow(g)
+		}
+	})
+}
+
+func BenchmarkLexMax(b *testing.B) {
+	for _, nClasses := range []int{2, 8, 32} {
+		nClasses := nClasses
+		b.Run(fmt.Sprintf("classes=%d", nClasses), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			g := twoChoiceGraph(rng, 5000, 32, nClasses)
+			classOf := make([]int32, g.NRight())
+			for r := range classOf {
+				classOf[r] = int32(r % nClasses)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				LexMax(g, classOf)
+			}
+		})
+	}
+}
+
+func BenchmarkPreferLowAtClass(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := twoChoiceGraph(rng, 5000, 32, 8)
+	classOf := make([]int32, g.NRight())
+	for r := range classOf {
+		classOf[r] = int32(r % 8)
+	}
+	base := LexMax(g, classOf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := base.Clone()
+		PreferLowAtClass(g, m, classOf, 0)
+	}
+}
+
+func BenchmarkMinCostMatching(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g := twoChoiceGraph(rng, 1000, 16, 4)
+	costs := make([]int64, g.NRight())
+	for r := range costs {
+		costs[r] = int64(r % 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinCostMatching(g, costs)
+	}
+}
+
+func BenchmarkSymmetricDifference(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	g := twoChoiceGraph(rng, 20000, 32, 6)
+	m1 := GreedyMaximal(g)
+	m2 := HopcroftKarp(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SymmetricDifference(m1, m2)
+	}
+}
+
+func BenchmarkGeneralBlossom(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{100, 500, 2000} {
+		n := n
+		g := NewGeneralGraph(n)
+		for u := 0; u < n; u++ {
+			for k := 0; k < 4; k++ {
+				v := rng.Intn(n)
+				if v != u {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var size int
+			for i := 0; i < b.N; i++ {
+				size = GeneralMaximumSize(g)
+			}
+			b.ReportMetric(float64(size), "matching")
+		})
+	}
+}
+
+func BenchmarkMaxProfitMatching(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	g := twoChoiceGraph(rng, 2000, 16, 4)
+	profit := make([]int64, 2000)
+	for i := range profit {
+		profit[i] = int64(1 + rng.Intn(10))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxProfitMatching(g, profit)
+	}
+}

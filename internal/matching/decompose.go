@@ -1,0 +1,162 @@
+package matching
+
+// DiffComponent is one connected component of the symmetric difference
+// M1 xor M2 of two matchings: an alternating path or an alternating cycle.
+// Vertices alternate sides along Verts; Left[i] reports the side of Verts[i].
+type DiffComponent struct {
+	Verts []int  // vertex indices, alternating sides along the component
+	Left  []bool // Left[i]: Verts[i] is a left vertex
+	Cycle bool   // true if the component is an alternating cycle
+}
+
+// Len returns the number of edges in the component.
+func (c *DiffComponent) Len() int {
+	if c.Cycle {
+		return len(c.Verts)
+	}
+	return len(c.Verts) - 1
+}
+
+// SymmetricDifference decomposes M1 xor M2 into its alternating paths and
+// cycles. Section 1.2 of the paper uses exactly this decomposition to compare
+// an online schedule with the offline optimum: components that are augmenting
+// paths for the online matching account for its losses. Both matchings must
+// be over the same vertex-set sizes.
+func SymmetricDifference(m1, m2 *Matching) []DiffComponent {
+	nl := len(m1.L2R)
+	// diffL[l] holds up to two right partners of l (from m1 and m2) that
+	// differ; similarly each right vertex has degree <= 2 in the difference.
+	type pair struct{ a, b int32 }
+	diffL := make([]pair, nl)
+	for l := range diffL {
+		diffL[l] = pair{None, None}
+	}
+	deg := make([]int, nl)
+	addL := func(l int, r int32) {
+		if deg[l] == 0 {
+			diffL[l].a = r
+		} else {
+			diffL[l].b = r
+		}
+		deg[l]++
+	}
+	nr := len(m1.R2L)
+	diffR := make([]pair, nr)
+	for r := range diffR {
+		diffR[r] = pair{None, None}
+	}
+	degR := make([]int, nr)
+	addR := func(r int, l int32) {
+		if degR[r] == 0 {
+			diffR[r].a = l
+		} else {
+			diffR[r].b = l
+		}
+		degR[r]++
+	}
+	for l := 0; l < nl; l++ {
+		r1, r2 := m1.L2R[l], m2.L2R[l]
+		if r1 == r2 {
+			continue
+		}
+		if r1 != None {
+			addL(l, r1)
+			addR(int(r1), int32(l))
+		}
+		if r2 != None {
+			addL(l, r2)
+			addR(int(r2), int32(l))
+		}
+	}
+	// A right vertex can also gain difference edges from two different left
+	// vertices even when each left's pair differs; the loops above already
+	// record those via addR.
+
+	visitedL := make([]bool, nl)
+	visitedR := make([]bool, nr)
+	var comps []DiffComponent
+
+	// walk traces the component starting at (isLeft, v), which must be a
+	// degree-1 endpoint for paths or any vertex for cycles.
+	walk := func(startLeft bool, start int) DiffComponent {
+		var c DiffComponent
+		isLeft, v := startLeft, start
+		prevL, prevR := int32(None), int32(None)
+		for {
+			c.Verts = append(c.Verts, v)
+			c.Left = append(c.Left, isLeft)
+			if isLeft {
+				visitedL[v] = true
+				nxt := diffL[v].a
+				if nxt == prevR || nxt == None {
+					nxt = diffL[v].b
+				}
+				if nxt == None {
+					return c
+				}
+				if visitedR[nxt] {
+					c.Cycle = true
+					return c
+				}
+				prevL = int32(v)
+				v, isLeft = int(nxt), false
+			} else {
+				visitedR[v] = true
+				nxt := diffR[v].a
+				if nxt == prevL || nxt == None {
+					nxt = diffR[v].b
+				}
+				if nxt == None {
+					return c
+				}
+				if visitedL[nxt] {
+					c.Cycle = true
+					return c
+				}
+				prevR = int32(v)
+				v, isLeft = int(nxt), true
+			}
+		}
+	}
+
+	// Paths first: start from degree-1 endpoints.
+	for l := 0; l < nl; l++ {
+		if deg[l] == 1 && !visitedL[l] {
+			comps = append(comps, walk(true, l))
+		}
+	}
+	for r := 0; r < nr; r++ {
+		if degR[r] == 1 && !visitedR[r] {
+			comps = append(comps, walk(false, r))
+		}
+	}
+	// Remaining unvisited difference vertices lie on cycles.
+	for l := 0; l < nl; l++ {
+		if deg[l] == 2 && !visitedL[l] {
+			comps = append(comps, walk(true, l))
+		}
+	}
+	for r := 0; r < nr; r++ {
+		if degR[r] == 2 && !visitedR[r] {
+			comps = append(comps, walk(false, r))
+		}
+	}
+	return comps
+}
+
+// AugmentingFor reports whether component c is an augmenting path for m: a
+// path whose two endpoint vertices are both free in m. Flipping such a path
+// would enlarge m by one, so counting them measures how far m is from the
+// reference matching it was diffed against.
+func AugmentingFor(c *DiffComponent, m *Matching) bool {
+	if c.Cycle || len(c.Verts) < 2 {
+		return false
+	}
+	free := func(i int) bool {
+		if c.Left[i] {
+			return m.L2R[c.Verts[i]] == None
+		}
+		return m.R2L[c.Verts[i]] == None
+	}
+	return free(0) && free(len(c.Verts)-1)
+}

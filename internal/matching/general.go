@@ -1,0 +1,233 @@
+package matching
+
+// General (non-bipartite) maximum matching via Edmonds' blossom algorithm.
+// The scheduling model itself is bipartite (requests vs time slots), but the
+// matching-theory toolbox the paper leans on (Section 1.1, [LP86], [MV80])
+// is about general graphs; this implementation completes the substrate and
+// doubles as an extra cross-check for the bipartite solvers, which must
+// agree with it on bipartite inputs. The classic O(V^3) formulation: grow
+// alternating trees from free vertices, contract odd cycles (blossoms) on
+// the fly by re-basing vertices, augment when two trees meet.
+
+// GeneralGraph is an undirected graph on n vertices for GeneralMaximum.
+type GeneralGraph struct {
+	n   int
+	adj [][]int32
+}
+
+// NewGeneralGraph returns an empty undirected graph with n vertices.
+func NewGeneralGraph(n int) *GeneralGraph {
+	return &GeneralGraph{n: n, adj: make([][]int32, n)}
+}
+
+// N returns the number of vertices.
+func (g *GeneralGraph) N() int { return g.n }
+
+// AddEdge adds the undirected edge {u, v}. Self-loops are rejected.
+func (g *GeneralGraph) AddEdge(u, v int) {
+	if u == v {
+		panic("matching: self-loop in general graph")
+	}
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.adj[v] = append(g.adj[v], int32(u))
+}
+
+// Adj returns the neighbors of v.
+func (g *GeneralGraph) Adj(v int) []int32 { return g.adj[v] }
+
+// GeneralMaximum computes a maximum matching of g and returns the partner
+// array (None for unmatched vertices).
+func GeneralMaximum(g *GeneralGraph) []int32 {
+	bm := &blossomMatcher{
+		g:     g,
+		match: make([]int32, g.n),
+		p:     make([]int32, g.n),
+		base:  make([]int32, g.n),
+		used:  make([]bool, g.n),
+		inB:   make([]bool, g.n),
+		inP:   make([]bool, g.n),
+	}
+	for i := range bm.match {
+		bm.match[i] = None
+	}
+	for v := 0; v < g.n; v++ {
+		if bm.match[v] == None {
+			bm.findPath(int32(v))
+		}
+	}
+	return bm.match
+}
+
+// GeneralMaximumSize returns only the matching cardinality.
+func GeneralMaximumSize(g *GeneralGraph) int {
+	match := GeneralMaximum(g)
+	size := 0
+	for _, m := range match {
+		if m != None {
+			size++
+		}
+	}
+	return size / 2
+}
+
+type blossomMatcher struct {
+	g     *GeneralGraph
+	match []int32 // partner or None
+	p     []int32 // alternating-tree parent (via the non-matching edge)
+	base  []int32 // blossom base of each vertex
+	used  []bool  // vertex is in the alternating tree (even level)
+	inB   []bool  // scratch: vertex bases inside the current blossom
+	inP   []bool  // scratch: bases on the current ancestor path
+}
+
+// lca finds the common base of a and b along their tree paths.
+func (bm *blossomMatcher) lca(a, b int32) int32 {
+	for i := range bm.inP {
+		bm.inP[i] = false
+	}
+	for {
+		a = bm.base[a]
+		bm.inP[a] = true
+		if bm.match[a] == None {
+			break
+		}
+		a = bm.p[bm.match[a]]
+	}
+	for {
+		b = bm.base[b]
+		if bm.inP[b] {
+			return b
+		}
+		b = bm.p[bm.match[b]]
+	}
+}
+
+// markPath walks from v up to the blossom base, marking the bases on the way
+// as part of the blossom and setting parent pointers through child.
+func (bm *blossomMatcher) markPath(v, b, child int32) {
+	for bm.base[v] != b {
+		bm.inB[bm.base[v]] = true
+		bm.inB[bm.base[bm.match[v]]] = true
+		bm.p[v] = child
+		child = bm.match[v]
+		v = bm.p[bm.match[v]]
+	}
+}
+
+// findPath grows an alternating tree from root; on success it augments and
+// returns true.
+func (bm *blossomMatcher) findPath(root int32) bool {
+	n := bm.g.n
+	for i := 0; i < n; i++ {
+		bm.used[i] = false
+		bm.p[i] = None
+		bm.base[i] = int32(i)
+	}
+	bm.used[root] = true
+	queue := make([]int32, 0, n)
+	queue = append(queue, root)
+
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		for _, to := range bm.g.adj[v] {
+			if bm.base[v] == bm.base[to] || bm.match[v] == to {
+				continue
+			}
+			if to == root || (bm.match[to] != None && bm.p[bm.match[to]] != None) {
+				// Odd cycle: contract the blossom.
+				curBase := bm.lca(v, to)
+				for i := range bm.inB {
+					bm.inB[i] = false
+				}
+				bm.markPath(v, curBase, to)
+				bm.markPath(to, curBase, v)
+				for i := int32(0); i < int32(n); i++ {
+					if bm.inB[bm.base[i]] {
+						bm.base[i] = curBase
+						if !bm.used[i] {
+							bm.used[i] = true
+							queue = append(queue, i)
+						}
+					}
+				}
+			} else if bm.p[to] == None {
+				bm.p[to] = v
+				if bm.match[to] == None {
+					bm.augment(to)
+					return true
+				}
+				bm.used[bm.match[to]] = true
+				queue = append(queue, bm.match[to])
+			}
+		}
+	}
+	return false
+}
+
+// augment flips the alternating path ending at the free vertex v.
+func (bm *blossomMatcher) augment(v int32) {
+	for v != None {
+		pv := bm.p[v]
+		ppv := bm.match[pv]
+		bm.match[v] = pv
+		bm.match[pv] = v
+		v = ppv
+	}
+}
+
+// VerifyGeneral checks that match is a consistent matching of g.
+func VerifyGeneral(g *GeneralGraph, match []int32) bool {
+	if len(match) != g.n {
+		return false
+	}
+	for v, m := range match {
+		if m == None {
+			continue
+		}
+		if m < 0 || int(m) >= g.n || match[m] != int32(v) {
+			return false
+		}
+		found := false
+		for _, to := range g.adj[v] {
+			if to == m {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// BruteGeneralMaximumSize is the exponential reference for tests.
+func BruteGeneralMaximumSize(g *GeneralGraph) int {
+	type edge struct{ u, v int32 }
+	var edges []edge
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if int32(u) < v {
+				edges = append(edges, edge{int32(u), v})
+			}
+		}
+	}
+	used := make([]bool, g.n)
+	var rec func(i int) int
+	rec = func(i int) int {
+		if i == len(edges) {
+			return 0
+		}
+		best := rec(i + 1)
+		e := edges[i]
+		if !used[e.u] && !used[e.v] {
+			used[e.u], used[e.v] = true, true
+			if v := 1 + rec(i+1); v > best {
+				best = v
+			}
+			used[e.u], used[e.v] = false, false
+		}
+		return best
+	}
+	return rec(0)
+}

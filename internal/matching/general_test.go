@@ -1,0 +1,152 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomGeneral(rng *rand.Rand, n int, p float64) *GeneralGraph {
+	g := NewGeneralGraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+func TestGeneralTriangle(t *testing.T) {
+	// Odd cycle: matching size 1 despite 3 edges.
+	g := NewGeneralGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	if got := GeneralMaximumSize(g); got != 1 {
+		t.Fatalf("triangle matching %d want 1", got)
+	}
+}
+
+func TestGeneralOddCycleWithTail(t *testing.T) {
+	// A 5-cycle with a pendant: size 3 — requires blossom contraction to
+	// find (the greedy tree without contraction gets stuck at 2).
+	g := NewGeneralGraph(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 0)
+	g.AddEdge(2, 5) // tail
+	if got := GeneralMaximumSize(g); got != 3 {
+		t.Fatalf("got %d want 3", got)
+	}
+}
+
+func TestGeneralPetersenPerfectMatching(t *testing.T) {
+	// The Petersen graph has a perfect matching (size 5) and is the classic
+	// stress case for blossom handling.
+	g := NewGeneralGraph(10)
+	outer := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	spokes := [][2]int{{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}}
+	inner := [][2]int{{5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5}}
+	for _, e := range append(append(outer, spokes...), inner...) {
+		g.AddEdge(e[0], e[1])
+	}
+	if got := GeneralMaximumSize(g); got != 5 {
+		t.Fatalf("petersen matching %d want 5", got)
+	}
+	if !VerifyGeneral(g, GeneralMaximum(g)) {
+		t.Fatal("inconsistent matching")
+	}
+}
+
+func TestGeneralPath(t *testing.T) {
+	// Path on 7 vertices: matching 3.
+	g := NewGeneralGraph(7)
+	for i := 0; i < 6; i++ {
+		g.AddEdge(i, i+1)
+	}
+	if got := GeneralMaximumSize(g); got != 3 {
+		t.Fatalf("path matching %d want 3", got)
+	}
+}
+
+func TestGeneralMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 400; trial++ {
+		n := 2 + rng.Intn(9)
+		g := randomGeneral(rng, n, 0.35)
+		got := GeneralMaximumSize(g)
+		want := BruteGeneralMaximumSize(g)
+		if got != want {
+			t.Fatalf("trial %d (n=%d): blossom %d != brute %d", trial, n, got, want)
+		}
+		if !VerifyGeneral(g, GeneralMaximum(g)) {
+			t.Fatalf("trial %d: inconsistent matching", trial)
+		}
+	}
+}
+
+func TestGeneralAgreesWithBipartiteSolvers(t *testing.T) {
+	// On bipartite inputs the blossom algorithm must agree with
+	// Hopcroft–Karp (embedding left vertices as 0..nl-1, right as nl..).
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 100; trial++ {
+		nl := 1 + rng.Intn(10)
+		nr := 1 + rng.Intn(10)
+		bg := randomGraph(rng, nl, nr, 0.3)
+		gg := NewGeneralGraph(nl + nr)
+		for l := 0; l < nl; l++ {
+			for _, r := range bg.Adj(l) {
+				gg.AddEdge(l, nl+int(r))
+			}
+		}
+		if got, want := GeneralMaximumSize(gg), HopcroftKarp(bg).Size(); got != want {
+			t.Fatalf("trial %d: blossom %d != HK %d", trial, got, want)
+		}
+	}
+}
+
+func TestGeneralEmptyAndSingle(t *testing.T) {
+	if GeneralMaximumSize(NewGeneralGraph(0)) != 0 {
+		t.Fatal("empty graph")
+	}
+	if GeneralMaximumSize(NewGeneralGraph(5)) != 0 {
+		t.Fatal("edgeless graph")
+	}
+	g := NewGeneralGraph(2)
+	g.AddEdge(0, 1)
+	if GeneralMaximumSize(g) != 1 {
+		t.Fatal("single edge")
+	}
+}
+
+func TestGeneralSelfLoopRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGeneralGraph(2).AddEdge(1, 1)
+}
+
+func TestGeneralLargeRandomStaysConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	g := randomGeneral(rng, 200, 0.05)
+	match := GeneralMaximum(g)
+	if !VerifyGeneral(g, match) {
+		t.Fatal("inconsistent matching at scale")
+	}
+	// Maximality spot-check: no free-free edge.
+	for u := 0; u < g.N(); u++ {
+		if match[u] != None {
+			continue
+		}
+		for _, v := range g.Adj(u) {
+			if match[v] == None {
+				t.Fatalf("free edge (%d,%d) left unmatched", u, v)
+			}
+		}
+	}
+}

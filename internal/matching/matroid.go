@@ -1,0 +1,215 @@
+package matching
+
+import "fmt"
+
+// This file implements the machinery behind the balance strategies of the
+// paper. A_fix_balance and A_balance choose, among the admissible matchings,
+// one maximizing F = sum_j X_{t+j} * (n+1)^(d-j), where X_{t+j} is the number
+// of matched time slots in round t+j. Because (n+1)^(d-j) dominates the sum of
+// all lower weights, maximizing F is exactly the lexicographic maximization of
+// the vector (X_t, ..., X_{t+d-1}).
+//
+// The sets of right (slot) vertices coverable by a matching form a transversal
+// matroid, so the max-weight coverable slot set is found by the matroid greedy:
+// process slots in descending weight (ascending round) order and attempt one
+// augmenting search from each. Since every class weight dominates all lower
+// classes combined, the greedy result is simultaneously of maximum cardinality
+// (it is a basis) and lexicographically optimal.
+
+// LexMax computes a maximum matching of g whose per-class matched-right-vertex
+// counts are lexicographically maximal, where classOf[r] gives the weight
+// class of right vertex r (class 0 is the heaviest, i.e. preferred). Right
+// vertices are processed in ascending (class, index) order.
+func LexMax(g *Graph, classOf []int32) *Matching {
+	m := NewMatching(g.NLeft(), g.NRight())
+	LexMaxExtend(g, m, classOf)
+	return m
+}
+
+// LexMaxExtend runs the weight-class greedy starting from an existing matching
+// m. Augmentation never unmatches a vertex, so every pre-matched vertex stays
+// matched; starting from a non-empty matching yields the lexicographic optimum
+// among matchings whose matched-right set contains m's matched-right set.
+// It returns the number of augmentations performed.
+func LexMaxExtend(g *Graph, m *Matching, classOf []int32) int {
+	if len(classOf) != g.NRight() {
+		panic(fmt.Sprintf("matching: classOf length %d != nRight %d", len(classOf), g.NRight()))
+	}
+	order := rightsByClass(classOf)
+	return ExtendFromRight(g, m, order)
+}
+
+// rightsByClass returns right vertex indices sorted by (class, index)
+// ascending using a counting sort, preserving index order within a class.
+func rightsByClass(classOf []int32) []int {
+	maxC := int32(0)
+	for _, c := range classOf {
+		if c < 0 {
+			panic("matching: negative weight class")
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	count := make([]int, maxC+2)
+	for _, c := range classOf {
+		count[c+1]++
+	}
+	for i := 1; i < len(count); i++ {
+		count[i] += count[i-1]
+	}
+	order := make([]int, len(classOf))
+	for r, c := range classOf {
+		order[count[c]] = r
+		count[c]++
+	}
+	return order
+}
+
+// CoverLeft transforms the maximum matching m so that every left vertex
+// covered by the matching `cover` is also covered by m, without changing m's
+// matched right-vertex set or its cardinality. This is the constructive half
+// of the Mendelsohn–Dulmage theorem: walk the component of each uncovered
+// left vertex in (cover xor m) and flip it. The strategies use it to restore
+// the "all previously scheduled requests remain scheduled" property after
+// recomputing a lexicographically optimal matching from scratch.
+//
+// Precondition: m is a maximum matching of g and cover is a matching of g
+// (typically last round's schedule). If m is not maximum the walk may hit a
+// right vertex that is free in m; CoverLeft then simply matches it (gaining
+// an edge) and stops, which is still a valid matching.
+func CoverLeft(g *Graph, m, cover *Matching) {
+	for p := 0; p < g.NLeft(); p++ {
+		if cover.L2R[p] == None || m.L2R[p] != None {
+			continue
+		}
+		// Walk the alternating path starting at p: cover edge forward,
+		// m edge back, flipping as we go. The path must terminate at a
+		// left vertex not covered by `cover` (a cycle is impossible
+		// because p has m-degree 0, and ending at a right vertex free
+		// in m would contradict maximality of m).
+		cur := int32(p)
+		for {
+			r := cover.L2R[cur]
+			if r == None {
+				break // cur ends the path uncovered by cover: done
+			}
+			u := m.R2L[r]
+			m.Match(int(cur), int(r)) // unmatches u from r internally
+			if u == None {
+				break // m was not maximum; we just augmented
+			}
+			cur = u
+		}
+	}
+}
+
+// ImproveEarliness applies cardinality-preserving alternating-path exchanges
+// until the per-class matched counts of m are locally lexicographically
+// optimal: for each class c in ascending order, while some free right vertex
+// of class c can reach (via an alternating path that starts with a non-matching
+// edge) a matched right vertex of a strictly later class, the path is flipped,
+// matching the class-c vertex and freeing the later one. The matched left set
+// is unchanged, so previously scheduled requests stay scheduled.
+//
+// This is the "incremental" route to the balance objective (start from last
+// round's schedule, extend, exchange); the from-scratch route is LexMax +
+// CoverLeft. Tests assert both produce identical class-count vectors.
+func ImproveEarliness(g *Graph, m *Matching, classOf []int32) int {
+	if len(classOf) != g.NRight() {
+		panic(fmt.Sprintf("matching: classOf length %d != nRight %d", len(classOf), g.NRight()))
+	}
+	order := rightsByClass(classOf)
+	flips := 0
+	parentL := make([]int32, g.NLeft())  // right vertex through which left was reached
+	parentR := make([]int32, g.NRight()) // left vertex through which right was reached
+	seenL := make([]bool, g.NLeft())
+	seenR := make([]bool, g.NRight())
+
+	for _, start := range order {
+		c := classOf[start]
+	retry:
+		if m.R2L[start] != None {
+			continue
+		}
+		// BFS over the alternating structure from `start`.
+		for i := range seenL {
+			seenL[i] = false
+		}
+		for i := range seenR {
+			seenR[i] = false
+		}
+		seenR[start] = true
+		queueR := []int32{int32(start)}
+		best := int32(-1)
+		bestClass := c
+		for qi := 0; qi < len(queueR) && best == -1; qi++ {
+			r := queueR[qi]
+			for _, l := range g.RAdj(int(r)) {
+				if seenL[l] {
+					continue
+				}
+				seenL[l] = true
+				parentL[l] = r
+				mr := m.L2R[l]
+				if mr == None {
+					// A genuine augmenting path; take it (it also
+					// improves the class vector).
+					flipExchange(m, l, parentL, parentR, int32(start))
+					flips++
+					goto retry
+				}
+				if !seenR[mr] {
+					seenR[mr] = true
+					parentR[mr] = l
+					if classOf[mr] > bestClass {
+						best = mr
+						break
+					}
+					queueR = append(queueR, mr)
+				}
+			}
+		}
+		if best != -1 {
+			// Flip the path start ... best: `best` becomes free,
+			// `start` becomes matched.
+			l := m.R2L[best]
+			m.UnmatchRight(int(best))
+			flipExchange(m, l, parentL, parentR, int32(start))
+			flips++
+			goto retry
+		}
+	}
+	return flips
+}
+
+// flipExchange rematches along the BFS parent pointers from left vertex l back
+// to the path's starting right vertex.
+func flipExchange(m *Matching, l int32, parentL, parentR []int32, start int32) {
+	for {
+		r := parentL[l]
+		m.Match(int(l), int(r))
+		if r == start {
+			return
+		}
+		l = parentR[r]
+	}
+}
+
+// ClassCounts returns, for a matching m and class assignment classOf, the
+// number of matched right vertices in each class (index = class).
+func ClassCounts(m *Matching, classOf []int32) []int {
+	maxC := int32(0)
+	for _, c := range classOf {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	counts := make([]int, maxC+1)
+	for r, l := range m.R2L {
+		if l != None {
+			counts[classOf[r]]++
+		}
+	}
+	return counts
+}

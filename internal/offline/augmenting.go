@@ -1,0 +1,86 @@
+package offline
+
+import (
+	"fmt"
+
+	"reqsched/internal/core"
+	"reqsched/internal/matching"
+)
+
+// This file implements the analysis device of the paper's upper-bound proofs
+// (Section 3): compare the online schedule with a fixed optimal schedule via
+// the symmetric difference of their matchings and classify the augmenting
+// paths by *order* — the number of requests on the path. Theorem 3.3's proof
+// starts from "no request that fails in A_fix is the beginning of an
+// augmenting path of order 1"; Theorem 3.5's from "every augmenting path is
+// of order at least 3" for A_eager. AugmentingOrders makes those statements
+// checkable on real executions.
+
+// LogMatching converts a fulfillment log into a matching on the trace's full
+// request/slot graph.
+func LogMatching(tr *core.Trace, log []core.Fulfillment) *matching.Matching {
+	m := matching.NewMatching(tr.NumRequests(), tr.Horizon()*tr.N)
+	for _, f := range log {
+		m.Match(f.Req.ID, SlotIndex(tr.N, f.Res, f.Round))
+	}
+	return m
+}
+
+// AugmentingOrders diffs the online schedule against one optimal schedule
+// and returns a histogram: orders[k] is the number of augmenting paths (for
+// the online matching) containing exactly k requests. The total loss of the
+// online algorithm against this optimum equals the total number of
+// augmenting paths (sum over the histogram).
+func AugmentingOrders(tr *core.Trace, log []core.Fulfillment) map[int]int {
+	alg := LogMatching(tr, log)
+	opt, _ := OptimumMatching(tr)
+	comps := matching.SymmetricDifference(alg, opt)
+	orders := make(map[int]int)
+	for i := range comps {
+		c := &comps[i]
+		if !matching.AugmentingFor(c, alg) {
+			continue
+		}
+		requests := 0
+		for _, isLeft := range c.Left {
+			if isLeft {
+				requests++
+			}
+		}
+		orders[requests]++
+	}
+	return orders
+}
+
+// MinAugmentingOrder returns the smallest order in the histogram, or 0 when
+// the online schedule is optimal (no augmenting paths at all).
+func MinAugmentingOrder(orders map[int]int) int {
+	min := 0
+	for k, v := range orders {
+		if v > 0 && (min == 0 || k < min) {
+			min = k
+		}
+	}
+	return min
+}
+
+// TotalAugmenting sums the histogram: exactly OPT - ALG.
+func TotalAugmenting(orders map[int]int) int {
+	total := 0
+	for _, v := range orders {
+		total += v
+	}
+	return total
+}
+
+// CheckOrderAtLeast verifies the structural claim of an upper-bound proof:
+// every augmenting path against the optimum has at least minOrder requests.
+// Returns an error naming the violating order otherwise.
+func CheckOrderAtLeast(tr *core.Trace, log []core.Fulfillment, minOrder int) error {
+	orders := AugmentingOrders(tr, log)
+	if m := MinAugmentingOrder(orders); m != 0 && m < minOrder {
+		return fmt.Errorf("offline: augmenting path of order %d exists (want >= %d); histogram %v",
+			m, minOrder, orders)
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package offline
+
+import (
+	"math/rand"
+	"testing"
+
+	"reqsched/internal/core"
+	"reqsched/internal/strategies"
+	"reqsched/internal/workload"
+)
+
+func TestAugmentingTotalsEqualLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for trial := 0; trial < 30; trial++ {
+		tr := randomTrace(rng, 2+rng.Intn(4), 1+rng.Intn(3), 1+rng.Intn(8), 6)
+		opt := Optimum(tr)
+		for _, s := range []core.Strategy{strategies.NewFix(), strategies.NewEager()} {
+			res := core.Run(s, tr)
+			orders := AugmentingOrders(tr, res.Log)
+			if got := TotalAugmenting(orders); got != opt-res.Fulfilled {
+				t.Fatalf("trial %d %s: %d augmenting paths but loss is %d-%d",
+					trial, s.Name(), got, opt, res.Fulfilled)
+			}
+		}
+	}
+}
+
+func TestFixFamilyHasNoOrderOnePaths(t *testing.T) {
+	// Theorem 3.3's opening claim: a failed A_fix request is never directly
+	// connected to an unused slot (the matching is maximal), so every
+	// augmenting path has order >= 2. Same for the maximal baselines.
+	for seed := int64(0); seed < 6; seed++ {
+		tr := workload.Uniform(workload.Config{N: 5, D: 3, Rounds: 30, Rate: 9, Seed: seed})
+		for _, s := range []core.Strategy{
+			strategies.NewFix(), strategies.NewFixBalance(),
+			strategies.NewCurrent(), strategies.NewFirstFit(),
+		} {
+			res := core.Run(s, tr)
+			if err := CheckOrderAtLeast(tr, res.Log, 2); err != nil {
+				t.Fatalf("%s seed %d: %v", s.Name(), seed, err)
+			}
+		}
+	}
+}
+
+func TestEagerFamilyHasNoOrderTwoPaths(t *testing.T) {
+	// Theorem 3.5's claim: A_eager admits no augmenting paths of order 1 or
+	// 2, because each round it computes a maximum matching over the whole
+	// known subgraph. Same for A_balance (Theorem 3.6 relies on it too).
+	for seed := int64(0); seed < 6; seed++ {
+		tr := workload.Uniform(workload.Config{N: 5, D: 4, Rounds: 30, Rate: 9, Seed: seed})
+		for _, s := range []core.Strategy{strategies.NewEager(), strategies.NewBalance()} {
+			res := core.Run(s, tr)
+			if err := CheckOrderAtLeast(tr, res.Log, 3); err != nil {
+				t.Fatalf("%s seed %d: %v", s.Name(), seed, err)
+			}
+		}
+	}
+}
+
+func TestEagerOrderClaimOnAdversarialInput(t *testing.T) {
+	// The same claims on the inputs engineered to hurt: the Theorem 2.4
+	// trace forces A_eager's full 4/3 loss, yet every augmenting path still
+	// has order >= 3.
+	b := core.NewBuilder(4, 4)
+	b.Block(0, 0, 3)
+	for p := 1; p <= 10; p++ {
+		t0 := 2 + (p-1)*4
+		odd := p%2 == 1
+		inner, outer := [2]int{1, 2}, [2]int{0, 3}
+		if !odd {
+			inner, outer = outer, inner
+		}
+		for i := 0; i < 2; i++ {
+			b.Add(t0, outer[0], inner[0])
+		}
+		for i := 0; i < 2; i++ {
+			b.Add(t0, inner[1], outer[1])
+		}
+		for i := 0; i < 4; i++ {
+			b.Add(t0, inner[0], inner[1])
+		}
+		b.Block(t0+2, inner[0], inner[1])
+	}
+	tr := b.Build()
+	res := core.Run(strategies.NewEager(), tr)
+	if err := CheckOrderAtLeast(tr, res.Log, 3); err != nil {
+		t.Fatal(err)
+	}
+	orders := AugmentingOrders(tr, res.Log)
+	if TotalAugmenting(orders) == 0 {
+		t.Fatal("expected losses on the adversarial trace")
+	}
+}
+
+func TestMinAugmentingOrderHelpers(t *testing.T) {
+	if MinAugmentingOrder(map[int]int{}) != 0 {
+		t.Fatal("empty histogram should report 0")
+	}
+	if MinAugmentingOrder(map[int]int{3: 1, 2: 0, 5: 4}) != 3 {
+		t.Fatal("zero-count entries must be ignored")
+	}
+	if TotalAugmenting(map[int]int{2: 3, 4: 1}) != 4 {
+		t.Fatal("total wrong")
+	}
+}
+
+func TestLogMatchingRoundTrip(t *testing.T) {
+	b := core.NewBuilder(2, 2)
+	b.Add(0, 0, 1)
+	b.Add(0, 1, 0)
+	tr := b.Build()
+	res := core.Run(strategies.NewBalance(), tr)
+	m := LogMatching(tr, res.Log)
+	if m.Size() != res.Fulfilled {
+		t.Fatalf("matching size %d != fulfilled %d", m.Size(), res.Fulfilled)
+	}
+}

@@ -1,0 +1,162 @@
+// Package offline computes the optimal offline schedule of a trace: the
+// maximum-cardinality matching in the paper's bipartite graph G = (R ∪ S, E)
+// between requests and time slots (Section 1.2). Competitive ratios are
+// measured against this optimum.
+package offline
+
+import (
+	"reqsched/internal/core"
+	"reqsched/internal/matching"
+)
+
+// SlotIndex maps the slot of resource res at round t to its right-vertex
+// index in the request/slot graph of a trace over n resources.
+func SlotIndex(n, res, t int) int { return t*n + res }
+
+// SlotOf inverts SlotIndex.
+func SlotOf(n, idx int) (res, t int) { return idx % n, idx / n }
+
+// BuildGraph constructs the full bipartite graph of a trace: left vertices
+// are requests in ID order; right vertices are all (resource, round) slots up
+// to the trace horizon. Each request is adjacent to the slots of its
+// alternatives (in listed order) during its deadline window, earliest round
+// first — the same deterministic edge order the online strategies use.
+func BuildGraph(tr *core.Trace) *matching.Graph {
+	horizon := tr.Horizon()
+	g := matching.NewGraph(tr.NumRequests(), horizon*tr.N)
+	for _, r := range tr.Requests() {
+		for _, a := range r.Alts {
+			for t := r.Arrive; t <= r.Deadline(); t++ {
+				g.AddEdge(r.ID, SlotIndex(tr.N, a, t))
+			}
+		}
+	}
+	return g
+}
+
+// Optimum returns the number of requests an optimal offline algorithm
+// fulfills: the maximum matching cardinality of the trace graph, computed by
+// Hopcroft–Karp.
+func Optimum(tr *core.Trace) int {
+	return matching.HopcroftKarp(BuildGraph(tr)).Size()
+}
+
+// OptimumMatching returns one optimal offline schedule as an explicit
+// matching plus its cardinality.
+func OptimumMatching(tr *core.Trace) (*matching.Matching, int) {
+	m := matching.HopcroftKarp(BuildGraph(tr))
+	return m, m.Size()
+}
+
+// OptimumSchedule converts an optimal matching into a fulfillment log,
+// suitable for core.ValidateLog and for diffing against an online schedule.
+func OptimumSchedule(tr *core.Trace) []core.Fulfillment {
+	m, _ := OptimumMatching(tr)
+	reqs := tr.Requests()
+	var log []core.Fulfillment
+	for l, r := range m.L2R {
+		if r == matching.None {
+			continue
+		}
+		res, t := SlotOf(tr.N, int(r))
+		log = append(log, core.Fulfillment{Req: reqs[l], Res: res, Round: t})
+	}
+	return log
+}
+
+// OptimumByFlow recomputes the optimum with Dinic max-flow — an independent
+// implementation used to cross-check Optimum in tests.
+func OptimumByFlow(tr *core.Trace) int {
+	return matching.MaxMatchingByFlow(BuildGraph(tr))
+}
+
+// OptimumMinLatency returns an optimal offline schedule that, among all
+// maximum-cardinality schedules, minimizes the total service latency (sum of
+// service round minus arrival round), computed by min-cost max-flow with the
+// slot round as cost. Useful as the latency baseline for the examples: the
+// online strategies' mean latency can be compared against the best any
+// schedule of maximum throughput could do.
+func OptimumMinLatency(tr *core.Trace) ([]core.Fulfillment, int) {
+	g := BuildGraph(tr)
+	costs := make([]int64, g.NRight())
+	for idx := range costs {
+		_, t := SlotOf(tr.N, idx)
+		costs[idx] = int64(t)
+	}
+	m := matching.MinCostMatching(g, costs)
+	reqs := tr.Requests()
+	var log []core.Fulfillment
+	latency := 0
+	for l, r := range m.L2R {
+		if r == matching.None {
+			continue
+		}
+		res, t := SlotOf(tr.N, int(r))
+		log = append(log, core.Fulfillment{Req: reqs[l], Res: res, Round: t})
+		latency += t - reqs[l].Arrive
+	}
+	return log, latency
+}
+
+// MaxProfit returns the maximum total weight an offline schedule can serve —
+// the optimum of the weighted extension (equals Optimum on unweighted
+// traces).
+func MaxProfit(tr *core.Trace) int {
+	g := BuildGraph(tr)
+	reqs := tr.Requests()
+	profit := make([]int64, len(reqs))
+	for i, r := range reqs {
+		profit[i] = int64(r.Weight())
+	}
+	m := matching.MaxProfitMatching(g, profit)
+	return int(matching.ProfitOf(m, profit))
+}
+
+// EarliestDeadlineSchedule serves each trace greedily: in every round, every
+// resource serves, among the live requests that name it and are not yet
+// served this round, the one with the earliest deadline (ties by ID), its own
+// copy bookkeeping ignored. For single-alternative traces this is the EDF
+// strategy of Observation 3.1 and returns the optimum. The function returns
+// the number of requests fulfilled.
+//
+// Resources are scanned in index order within a round; because a request may
+// name several resources, a request already taken by a lower-indexed resource
+// this round is skipped by higher-indexed ones.
+func EarliestDeadlineSchedule(tr *core.Trace) int {
+	horizon := tr.Horizon()
+	// perResource[i] holds live request pointers naming resource i.
+	perResource := make([][]*core.Request, tr.N)
+	served := make(map[int]bool)
+	fulfilled := 0
+	for t := 0; t < horizon; t++ {
+		if t < len(tr.Arrivals) {
+			for i := range tr.Arrivals[t] {
+				r := &tr.Arrivals[t][i]
+				for _, a := range r.Alts {
+					perResource[a] = append(perResource[a], r)
+				}
+			}
+		}
+		for i := 0; i < tr.N; i++ {
+			q := perResource[i]
+			live := q[:0]
+			var pick *core.Request
+			for _, r := range q {
+				if served[r.ID] || r.Deadline() < t {
+					continue
+				}
+				live = append(live, r)
+				if pick == nil || r.Deadline() < pick.Deadline() ||
+					(r.Deadline() == pick.Deadline() && r.ID < pick.ID) {
+					pick = r
+				}
+			}
+			perResource[i] = live
+			if pick != nil {
+				served[pick.ID] = true
+				fulfilled++
+			}
+		}
+	}
+	return fulfilled
+}

@@ -1,0 +1,62 @@
+package ratio
+
+import (
+	"runtime"
+	"sync"
+
+	"reqsched/internal/adversary"
+	"reqsched/internal/core"
+)
+
+// Job is one measurement for RunParallel: a construction factory paired with
+// a strategy factory. Factories, not instances, because constructions with
+// adaptive sources and most strategies are stateful and must not be shared
+// across goroutines.
+type Job struct {
+	// Name labels the measurement in the result.
+	Name string
+	// Build creates the adversarial input.
+	Build func() adversary.Construction
+	// Strategy creates the online strategy to measure.
+	Strategy func() core.Strategy
+}
+
+// RunParallel executes the jobs on up to `workers` goroutines (GOMAXPROCS if
+// workers <= 0) and returns the measurements in job order. Each job runs a
+// full simulation plus a Hopcroft–Karp optimum, so the work units are coarse
+// and the speedup is near-linear; the Table 1 harness and the sweep tool use
+// it to regenerate the whole evaluation in one pass.
+func RunParallel(jobs []Job, workers int) []Measurement {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	out := make([]Measurement, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				job := jobs[i]
+				m := MeasureConstruction(job.Build(), job.Strategy())
+				if job.Name != "" {
+					m.Input = job.Name
+				}
+				out[i] = m
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,94 @@
+// Package ratio measures empirical competitive ratios: it runs an online
+// strategy and the offline optimum on the same input and reports
+// perf_OPT / perf_ALG, plus sweep and convergence helpers used by the
+// Table 1 harness.
+package ratio
+
+import (
+	"fmt"
+	"math"
+
+	"reqsched/internal/adversary"
+	"reqsched/internal/core"
+	"reqsched/internal/offline"
+)
+
+// Measurement is one (strategy, input) competitive-ratio data point.
+type Measurement struct {
+	Strategy string
+	Input    string
+	N, D     int
+	OPT, ALG int
+	// Bound is the theoretical bound attached to the input (0 if none).
+	Bound float64
+}
+
+// Ratio returns OPT/ALG (the empirical competitive ratio; +Inf if the
+// strategy served nothing while OPT served something, 1 if both are zero).
+func (m Measurement) Ratio() float64 {
+	if m.ALG == 0 {
+		if m.OPT == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return float64(m.OPT) / float64(m.ALG)
+}
+
+func (m Measurement) String() string {
+	return fmt.Sprintf("%s on %s (n=%d d=%d): OPT=%d ALG=%d ratio=%.4f bound=%.4f",
+		m.Strategy, m.Input, m.N, m.D, m.OPT, m.ALG, m.Ratio(), m.Bound)
+}
+
+// Measure runs s over tr and compares with the offline optimum.
+func Measure(s core.Strategy, tr *core.Trace) Measurement {
+	res := core.Run(s, tr)
+	return Measurement{
+		Strategy: s.Name(),
+		Input:    "trace",
+		N:        tr.N,
+		D:        tr.D,
+		OPT:      offline.Optimum(tr),
+		ALG:      res.Fulfilled,
+	}
+}
+
+// MeasureAdaptive runs s against an adaptive source, then computes the
+// optimum of the generated trace.
+func MeasureAdaptive(s core.Strategy, src core.AdaptiveSource) Measurement {
+	res, tr := core.RunAdaptive(s, src)
+	return Measurement{
+		Strategy: s.Name(),
+		Input:    "adaptive",
+		N:        tr.N,
+		D:        tr.D,
+		OPT:      offline.Optimum(tr),
+		ALG:      res.Fulfilled,
+	}
+}
+
+// MeasureConstruction runs s on an adversarial construction (fixed trace or
+// adaptive source) and attaches the construction's bound.
+func MeasureConstruction(c adversary.Construction, s core.Strategy) Measurement {
+	var m Measurement
+	if c.Source != nil {
+		m = MeasureAdaptive(s, c.Source)
+	} else {
+		m = Measure(s, c.Trace)
+	}
+	m.Input = c.Name
+	m.Bound = c.Bound
+	return m
+}
+
+// Convergence measures the ratio of strategy mk() on build(phases) for each
+// phase count, showing convergence of the empirical ratio to the bound as the
+// additive constant washes out.
+func Convergence(build func(phases int) adversary.Construction, mk func() core.Strategy, phaseCounts []int) []Measurement {
+	out := make([]Measurement, 0, len(phaseCounts))
+	for _, p := range phaseCounts {
+		c := build(p)
+		out = append(out, MeasureConstruction(c, mk()))
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package ratio
+
+import (
+	"fmt"
+
+	"reqsched/internal/core"
+	"reqsched/internal/offline"
+	"reqsched/internal/stats"
+)
+
+// Summary aggregates a strategy's empirical competitive ratio over a family
+// of workloads (one per seed): mean, deviation and extremes of OPT/ALG, plus
+// service-rate statistics. Used by cmd/schedsim -seeds and the examples to
+// report numbers that do not hinge on a single seed.
+type Summary struct {
+	Strategy string
+	Seeds    int
+	Ratio    stats.Acc
+	Served   stats.Acc
+	Expired  stats.Acc
+}
+
+func (s *Summary) String() string {
+	return fmt.Sprintf("%s over %d seeds: ratio %.4f±%.4f (max %.4f), served %.1f±%.1f",
+		s.Strategy, s.Seeds, s.Ratio.Mean(), s.Ratio.Std(), s.Ratio.Max(),
+		s.Served.Mean(), s.Served.Std())
+}
+
+// Summarize measures mk() against the traces produced by gen(seed) for seeds
+// 0..seeds-1.
+func Summarize(mk func() core.Strategy, gen func(seed int64) *core.Trace, seeds int) *Summary {
+	var sum Summary
+	sum.Seeds = seeds
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		tr := gen(seed)
+		s := mk()
+		if sum.Strategy == "" {
+			sum.Strategy = s.Name()
+		}
+		res := core.Run(s, tr)
+		opt := offline.Optimum(tr)
+		if res.Fulfilled > 0 {
+			sum.Ratio.Add(float64(opt) / float64(res.Fulfilled))
+		} else if opt == 0 {
+			sum.Ratio.Add(1)
+		}
+		sum.Served.Add(float64(res.Fulfilled))
+		sum.Expired.Add(float64(res.Expired))
+	}
+	return &sum
+}

@@ -1,0 +1,171 @@
+// Package render draws ASCII views of traces and schedules: the
+// resource-by-round grid (who served what when), request timelines, and
+// side-by-side schedule diffs. The adversary example and cmd/tracegen use it
+// to make the lower-bound constructions visible.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"reqsched/internal/commnet"
+	"reqsched/internal/core"
+)
+
+// Grid renders the fulfillment log as a resources × rounds table. Each cell
+// shows the served request's ID, `.` for an idle slot. Rounds are clipped to
+// [from, to) (pass 0, -1 for everything).
+func Grid(tr *core.Trace, log []core.Fulfillment, from, to int) string {
+	horizon := tr.Horizon()
+	if to < 0 || to > horizon {
+		to = horizon
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from >= to {
+		return ""
+	}
+	cells := make(map[[2]int]int)
+	width := 2
+	for _, f := range log {
+		cells[[2]int{f.Res, f.Round}] = f.Req.ID
+		if w := len(fmt.Sprint(f.Req.ID)); w > width {
+			width = w
+		}
+	}
+	var sb strings.Builder
+	// Header: round numbers.
+	fmt.Fprintf(&sb, "%6s", "")
+	for t := from; t < to; t++ {
+		fmt.Fprintf(&sb, " %*d", width, t)
+	}
+	sb.WriteByte('\n')
+	for i := 0; i < tr.N; i++ {
+		fmt.Fprintf(&sb, "S%-4d|", i)
+		for t := from; t < to; t++ {
+			if id, ok := cells[[2]int{i, t}]; ok {
+				fmt.Fprintf(&sb, " %*d", width, id)
+			} else {
+				fmt.Fprintf(&sb, " %*s", width, ".")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Arrivals renders the injection schedule: one line per round with arrivals,
+// each request shown as id[alt0 alt1 ...]. Rounds are clipped to [from, to).
+func Arrivals(tr *core.Trace, from, to int) string {
+	if to < 0 || to > len(tr.Arrivals) {
+		to = len(tr.Arrivals)
+	}
+	if from < 0 {
+		from = 0
+	}
+	var sb strings.Builder
+	for t := from; t < to; t++ {
+		rs := tr.Arrivals[t]
+		if len(rs) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "t=%-4d", t)
+		for i := range rs {
+			r := &rs[i]
+			fmt.Fprintf(&sb, " %d%v", r.ID, r.Alts)
+			if r.D != tr.D {
+				fmt.Fprintf(&sb, "(d=%d)", r.D)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Diff renders two schedules of the same trace side by side, marking the
+// slots where they differ with a `*` column between the grids' cells is too
+// wide; instead it lists the differing slots: round, resource, and the
+// request each schedule served there.
+func Diff(tr *core.Trace, a, b []core.Fulfillment) string {
+	type slot = [2]int
+	am := make(map[slot]int)
+	for _, f := range a {
+		am[slot{f.Res, f.Round}] = f.Req.ID
+	}
+	bm := make(map[slot]int)
+	for _, f := range b {
+		bm[slot{f.Res, f.Round}] = f.Req.ID
+	}
+	var sb strings.Builder
+	horizon := tr.Horizon()
+	for t := 0; t < horizon; t++ {
+		for i := 0; i < tr.N; i++ {
+			s := slot{i, t}
+			av, aok := am[s]
+			bv, bok := bm[s]
+			if aok == bok && av == bv {
+				continue
+			}
+			left, right := ".", "."
+			if aok {
+				left = fmt.Sprint(av)
+			}
+			if bok {
+				right = fmt.Sprint(bv)
+			}
+			fmt.Fprintf(&sb, "round %d, S%d: %s vs %s\n", t, i, left, right)
+		}
+	}
+	if sb.Len() == 0 {
+		return "(schedules identical)\n"
+	}
+	return sb.String()
+}
+
+// CommRounds renders a communication transcript: one line per round with
+// sent/delivered/dropped counts and a contention bar for the busiest
+// mailbox.
+func CommRounds(rounds []commnet.CommRound, barWidth int) string {
+	if len(rounds) == 0 {
+		return "(no communication)\n"
+	}
+	maxBusy := 1
+	for _, r := range rounds {
+		if r.Busiest > maxBusy {
+			maxBusy = r.Busiest
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%5s %6s %6s %6s  busiest mailbox\n", "round", "sent", "recv", "drop")
+	for i, r := range rounds {
+		bar := strings.Repeat("#", r.Busiest*barWidth/maxBusy)
+		fmt.Fprintf(&sb, "%5d %6d %6d %6d  %s %d\n", i, r.Sent, r.Delivered, r.Dropped, bar, r.Busiest)
+	}
+	return sb.String()
+}
+
+// LossSummary lists the requests in tr that the log did not serve, grouped
+// by arrival round — the "who was sacrificed" view of an adversarial run.
+func LossSummary(tr *core.Trace, log []core.Fulfillment) string {
+	served := make(map[int]bool, len(log))
+	for _, f := range log {
+		served[f.Req.ID] = true
+	}
+	var sb strings.Builder
+	total := 0
+	for t, rs := range tr.Arrivals {
+		var lost []string
+		for i := range rs {
+			if !served[rs[i].ID] {
+				lost = append(lost, fmt.Sprintf("%d%v", rs[i].ID, rs[i].Alts))
+				total++
+			}
+		}
+		if len(lost) > 0 {
+			fmt.Fprintf(&sb, "t=%-4d lost %s\n", t, strings.Join(lost, " "))
+		}
+	}
+	fmt.Fprintf(&sb, "total lost: %d of %d\n", total, tr.NumRequests())
+	return sb.String()
+}

@@ -1,0 +1,140 @@
+// Package stats provides the small numeric helpers the benchmark harness and
+// CLI tools share: running accumulators, histograms and ratio formatting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Acc is a streaming accumulator for mean / variance / extrema.
+type Acc struct {
+	n          int
+	mean, m2   float64
+	min, max   float64
+	initalized bool
+}
+
+// Add folds a value into the accumulator (Welford's algorithm).
+func (a *Acc) Add(x float64) {
+	a.n++
+	if !a.initalized || x < a.min {
+		a.min = x
+	}
+	if !a.initalized || x > a.max {
+		a.max = x
+	}
+	a.initalized = true
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N returns the number of samples.
+func (a *Acc) N() int { return a.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (a *Acc) Mean() float64 { return a.mean }
+
+// Var returns the unbiased sample variance.
+func (a *Acc) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (a *Acc) Std() float64 { return math.Sqrt(a.Var()) }
+
+// Min returns the smallest sample (0 with no samples).
+func (a *Acc) Min() float64 { return a.min }
+
+// Max returns the largest sample (0 with no samples).
+func (a *Acc) Max() float64 { return a.max }
+
+func (a *Acc) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f std=%.4f min=%.4f max=%.4f",
+		a.n, a.Mean(), a.Std(), a.Min(), a.Max())
+}
+
+// Histogram counts integer samples in unit buckets [0, size).
+// Out-of-range samples land in the edge buckets.
+type Histogram struct {
+	buckets []int
+	total   int
+}
+
+// NewHistogram returns a histogram with the given number of unit buckets.
+func NewHistogram(size int) *Histogram {
+	return &Histogram{buckets: make([]int, size)}
+}
+
+// Add counts one sample.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.buckets) {
+		v = len(h.buckets) - 1
+	}
+	h.buckets[v]++
+	h.total++
+}
+
+// Count returns the number of samples in bucket i.
+func (h *Histogram) Count(i int) int { return h.buckets[i] }
+
+// Total returns the number of samples.
+func (h *Histogram) Total() int { return h.total }
+
+// Quantile returns the smallest bucket b such that at least q (0..1) of the
+// samples are <= b.
+func (h *Histogram) Quantile(q float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	need := int(math.Ceil(q * float64(h.total)))
+	run := 0
+	for i, c := range h.buckets {
+		run += c
+		if run >= need {
+			return i
+		}
+	}
+	return len(h.buckets) - 1
+}
+
+// Bars renders an ASCII bar chart, one row per non-empty bucket.
+func (h *Histogram) Bars(width int) string {
+	max := 0
+	for _, c := range h.buckets {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return "(empty)\n"
+	}
+	var sb strings.Builder
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", int(math.Round(float64(c)/float64(max)*float64(width))))
+		fmt.Fprintf(&sb, "%4d | %-*s %d\n", i, width, bar, c)
+	}
+	return sb.String()
+}
+
+// Ratio formats p/q as a fixed-point string, tolerating q=0.
+func Ratio(p, q int) string {
+	if q == 0 {
+		if p == 0 {
+			return "1.0000"
+		}
+		return "inf"
+	}
+	return fmt.Sprintf("%.4f", float64(p)/float64(q))
+}

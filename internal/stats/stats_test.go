@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccBasics(t *testing.T) {
+	var a Acc
+	for _, v := range []float64{1, 2, 3, 4} {
+		a.Add(v)
+	}
+	if a.N() != 4 || a.Mean() != 2.5 || a.Min() != 1 || a.Max() != 4 {
+		t.Fatalf("acc wrong: %s", a.String())
+	}
+	// Var of 1,2,3,4 = 5/3.
+	if math.Abs(a.Var()-5.0/3.0) > 1e-12 {
+		t.Fatalf("var %f", a.Var())
+	}
+}
+
+func TestAccEmptyAndSingle(t *testing.T) {
+	var a Acc
+	if a.Mean() != 0 || a.Std() != 0 || a.N() != 0 {
+		t.Fatal("zero-value Acc not neutral")
+	}
+	a.Add(7)
+	if a.Var() != 0 || a.Min() != 7 || a.Max() != 7 {
+		t.Fatal("single sample wrong")
+	}
+}
+
+func TestAccMatchesNaiveComputation(t *testing.T) {
+	f := func(xs []float64) bool {
+		var a Acc
+		sum := 0.0
+		for _, x := range xs {
+			// Clamp to keep the naive two-pass sum well-conditioned.
+			x = math.Mod(x, 1e6)
+			if math.IsNaN(x) {
+				x = 0
+			}
+			a.Add(x)
+			sum += x
+		}
+		if len(xs) == 0 {
+			return a.N() == 0
+		}
+		mean := sum / float64(len(xs))
+		return math.Abs(a.Mean()-mean) < 1e-6*(1+math.Abs(mean))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(5)
+	for _, v := range []int{0, 1, 1, 3, 9, -2} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("total %d", h.Total())
+	}
+	if h.Count(0) != 2 { // 0 and clamped -2
+		t.Fatalf("bucket 0: %d", h.Count(0))
+	}
+	if h.Count(4) != 1 { // clamped 9
+		t.Fatalf("bucket 4: %d", h.Count(4))
+	}
+	if h.Quantile(0.5) != 1 {
+		t.Fatalf("median bucket %d", h.Quantile(0.5))
+	}
+	if h.Quantile(1.0) != 4 {
+		t.Fatalf("max bucket %d", h.Quantile(1.0))
+	}
+	if h.Bars(10) == "" {
+		t.Fatal("no bars")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(3)
+	if h.Quantile(0.5) != 0 || h.Bars(5) != "(empty)\n" {
+		t.Fatal("empty histogram misbehaves")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(3, 2) != "1.5000" || Ratio(0, 0) != "1.0000" || Ratio(1, 0) != "inf" {
+		t.Fatal("ratio formatting")
+	}
+}

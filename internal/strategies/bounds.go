@@ -1,0 +1,75 @@
+package strategies
+
+import "math"
+
+// UpperBound returns the proven competitive-ratio upper bound for the named
+// strategy at deadline window d — the right column of Table 1, Observation
+// 3.2 for EDF, Theorem 3.7/3.8 for the local strategies, and the
+// maximal-matching argument (ratio 2) for the baselines. ok is false for
+// unknown names.
+func UpperBound(name string, d int) (bound float64, ok bool) {
+	fd := float64(d)
+	switch name {
+	case "A_fix", "A_current":
+		return 2 - 1/fd, true
+	case "A_fix_balance":
+		// max{2-2/d, 2-3/(d+2), 4/3}: 4/3 at d=2, 7/5 at d=3, 2-2/d beyond.
+		b := 4.0 / 3.0
+		if v := 2 - 2/fd; v > b {
+			b = v
+		}
+		if v := 2 - 3/(fd+2); v > b {
+			b = v
+		}
+		return b, true
+	case "A_eager":
+		return (3*fd - 2) / (2*fd - 1), true
+	case "A_balance":
+		if d == 2 {
+			return 4.0 / 3.0, true
+		}
+		return 6 * (fd - 1) / (4*fd - 3), true
+	case "EDF", "EDF_coordinated", "first_fit", "random_fit", "A_local_fix":
+		return 2, true
+	case "A_local_eager", "A_local_eager_wide":
+		return 5.0 / 3.0, true
+	}
+	return 0, false
+}
+
+// LowerBound returns the proven lower bound on the competitive ratio for the
+// named strategy at window d — the left column of Table 1 (for A_current the
+// d=2 value is 4/3 and the value returned for larger d is the asymptotic
+// e/(e-1); for A_balance the formula applies to d = 3x-1). asymptotic
+// reports that the bound is a limit rather than exact for this d.
+func LowerBound(name string, d int) (bound float64, asymptotic, ok bool) {
+	fd := float64(d)
+	switch name {
+	case "A_fix":
+		return 2 - 1/fd, false, true
+	case "A_current":
+		if d == 2 {
+			return 4.0 / 3.0, false, true
+		}
+		return math.E / (math.E - 1), true, true
+	case "A_fix_balance":
+		if d == 2 {
+			return 4.0 / 3.0, false, true
+		}
+		return 3 * fd / (2*fd + 2), false, true
+	case "A_eager":
+		return 4.0 / 3.0, false, true
+	case "A_balance":
+		if d == 2 {
+			return 4.0 / 3.0, false, true
+		}
+		return (5*fd + 2) / (4*fd + 1), false, true
+	case "EDF", "A_local_fix":
+		return 2, false, true
+	}
+	return 0, false, false
+}
+
+// UniversalLowerBound is the Theorem 2.6 bound that applies to every
+// deterministic online algorithm: 45/41.
+func UniversalLowerBound() float64 { return 45.0 / 41.0 }

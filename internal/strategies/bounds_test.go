@@ -1,0 +1,96 @@
+package strategies
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestUpperBoundTableValues(t *testing.T) {
+	cases := []struct {
+		name string
+		d    int
+		want float64
+	}{
+		{"A_fix", 2, 1.5},
+		{"A_fix", 10, 1.9},
+		{"A_current", 4, 1.75},
+		{"A_fix_balance", 2, 4.0 / 3},
+		{"A_fix_balance", 3, 7.0 / 5},
+		{"A_fix_balance", 4, 1.5},
+		{"A_fix_balance", 10, 1.8},
+		{"A_eager", 2, 4.0 / 3},
+		{"A_eager", 5, 13.0 / 9},
+		{"A_balance", 2, 4.0 / 3},
+		{"A_balance", 5, 24.0 / 17},
+		{"EDF", 3, 2},
+		{"A_local_fix", 3, 2},
+		{"A_local_eager", 3, 5.0 / 3},
+	}
+	for _, c := range cases {
+		got, ok := UpperBound(c.name, c.d)
+		if !ok || !almost(got, c.want) {
+			t.Errorf("UpperBound(%s, %d) = %f, %v; want %f", c.name, c.d, got, ok, c.want)
+		}
+	}
+	if _, ok := UpperBound("bogus", 2); ok {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestLowerBoundTableValues(t *testing.T) {
+	cases := []struct {
+		name string
+		d    int
+		want float64
+		asym bool
+	}{
+		{"A_fix", 4, 1.75, false},
+		{"A_current", 2, 4.0 / 3, false},
+		{"A_current", 24, math.E / (math.E - 1), true},
+		{"A_fix_balance", 2, 4.0 / 3, false},
+		{"A_fix_balance", 6, 18.0 / 14, false},
+		{"A_eager", 7, 4.0 / 3, false},
+		{"A_balance", 5, 27.0 / 21, false},
+		{"EDF", 2, 2, false},
+		{"A_local_fix", 9, 2, false},
+	}
+	for _, c := range cases {
+		got, asym, ok := LowerBound(c.name, c.d)
+		if !ok || !almost(got, c.want) || asym != c.asym {
+			t.Errorf("LowerBound(%s, %d) = %f, %v, %v; want %f, %v",
+				c.name, c.d, got, asym, ok, c.want, c.asym)
+		}
+	}
+}
+
+func TestLowerBoundNeverExceedsUpperBound(t *testing.T) {
+	for _, name := range []string{"A_fix", "A_current", "A_fix_balance", "A_eager", "A_balance", "EDF", "A_local_fix"} {
+		for d := 2; d <= 64; d++ {
+			lb, _, ok1 := LowerBound(name, d)
+			ub, ok2 := UpperBound(name, d)
+			if !ok1 || !ok2 {
+				t.Fatalf("%s d=%d: missing bound", name, d)
+			}
+			if lb > ub+1e-12 {
+				t.Errorf("%s d=%d: LB %f > UB %f", name, d, lb, ub)
+			}
+		}
+	}
+}
+
+func TestUniversalLowerBoundBelowEveryUpperBound(t *testing.T) {
+	u := UniversalLowerBound()
+	if !almost(u, 45.0/41.0) {
+		t.Fatalf("universal bound %f", u)
+	}
+	for d := 2; d <= 16; d++ {
+		for _, name := range []string{"A_fix", "A_current", "A_fix_balance", "A_eager", "A_balance"} {
+			ub, _ := UpperBound(name, d)
+			if u > ub {
+				t.Errorf("universal LB %f above %s UB %f at d=%d", u, name, ub, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package strategies
+
+import "reqsched/internal/core"
+
+// Current implements A_current: every round, a maximum matching is computed
+// between all live unfulfilled requests and the n time slots of the *current*
+// round only — no forward planning at all. Pending requests keep competing
+// every round until served or expired. Competitive ratio between e/(e-1)
+// (as d grows, Theorem 2.2) and 2 - 1/d (Theorem 3.3).
+type Current struct{}
+
+// NewCurrent returns the A_current strategy.
+func NewCurrent() *Current { return &Current{} }
+
+// Name implements core.Strategy.
+func (*Current) Name() string { return "A_current" }
+
+// Begin implements core.Strategy.
+func (*Current) Begin(n, d int) {}
+
+// Round implements core.Strategy.
+func (*Current) Round(ctx *core.RoundContext) {
+	// A_current never pre-assigns, so every pending request is unassigned.
+	reqs := ctx.Pending
+	wg := buildCurrentRoundGraph(ctx.W, reqs)
+	m := newEmptyMatching(wg)
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	// Maximum matching with requests considered in ID order: older requests
+	// (lower IDs) are matched first — the implementation the Theorem 2.2
+	// adversary steers group by group.
+	extendFromLeft(wg, m, order)
+	wg.apply(ctx.W, m)
+}
+
+// buildCurrentRoundGraph restricts the window graph to the current round's n
+// slots: request li is adjacent to slot (alt, t) for each listed alternative.
+func buildCurrentRoundGraph(w *core.Window, reqs []*core.Request) *winGraph {
+	wg := &winGraph{
+		reqs:  reqs,
+		n:     w.N(),
+		t:     w.Round(),
+		depth: w.Depth(),
+	}
+	wg.g = newCurrentGraph(len(reqs), wg.depth*wg.n)
+	for li, r := range reqs {
+		for _, a := range r.Alts {
+			if w.Free(a, wg.t) {
+				wg.g.AddEdge(li, wg.slotIdx(a, wg.t))
+			}
+		}
+	}
+	return wg
+}

@@ -1,0 +1,81 @@
+package strategies
+
+import (
+	"reqsched/internal/core"
+	"reqsched/internal/matching"
+)
+
+// Eager implements A_eager: every round it recomputes a maximum matching over
+// the whole known subgraph G_t subject to (1) the number of requests served
+// in the current round is maximal and (2) every previously scheduled request
+// remains scheduled (it may move to a different slot). Competitive ratio
+// between 4/3 and (3d-2)/(2d-1) (Theorems 2.4 and 3.5).
+//
+// Implementation: snapshot the inherited schedule, reset the window, compute
+// the slot-side weight-class greedy with two classes ("current round" before
+// "everything later") — a maximum matching maximizing current-round service —
+// then restore coverage of previously scheduled requests via the constructive
+// Mendelsohn–Dulmage merge, which keeps the matched slot set (and hence both
+// optimality properties) intact.
+type Eager struct{}
+
+// NewEager returns the A_eager strategy.
+func NewEager() *Eager { return &Eager{} }
+
+// Name implements core.Strategy.
+func (*Eager) Name() string { return "A_eager" }
+
+// Begin implements core.Strategy.
+func (*Eager) Begin(n, d int) {}
+
+// Round implements core.Strategy.
+func (*Eager) Round(ctx *core.RoundContext) {
+	rescheduleRound(ctx, 2)
+}
+
+// Balance implements A_balance: like A_eager it recomputes over the whole
+// subgraph and keeps previously scheduled requests scheduled, but it picks
+// the maximum matching maximizing F = sum_j X_{t+j}(n+1)^(d-j), i.e. it fills
+// rounds lexicographically from the current one outward. The paper's best
+// simple strategy: ratio between (5d+2)/(4d+1) and 6(d-1)/(4d-3)
+// (Theorems 2.5 and 3.6).
+type Balance struct{}
+
+// NewBalance returns the A_balance strategy.
+func NewBalance() *Balance { return &Balance{} }
+
+// Name implements core.Strategy.
+func (*Balance) Name() string { return "A_balance" }
+
+// Begin implements core.Strategy.
+func (*Balance) Begin(n, d int) {}
+
+// Round implements core.Strategy.
+func (*Balance) Round(ctx *core.RoundContext) {
+	rescheduleRound(ctx, 0)
+}
+
+// rescheduleRound is the shared A_eager / A_balance round body. maxClasses
+// caps the slot weight classes: 2 for A_eager (current round vs later), 0 for
+// A_balance (0 means "one class per window round": full lexicographic F).
+func rescheduleRound(ctx *core.RoundContext, maxClasses int) {
+	reqs := ctx.Pending
+	snapshot := ctx.W.Snapshot()
+	ctx.W.Reset()
+	wg := buildGraph(ctx.W, reqs, false)
+	if maxClasses <= 0 {
+		maxClasses = wg.depth
+	}
+	classOf := wg.roundClasses(maxClasses)
+	m := lexMax(wg, classOf)
+	if len(snapshot) > 0 {
+		cover := wg.coverMatching(snapshot)
+		matching.CoverLeft(wg.g, m, cover)
+	}
+	// Among the admissible matchings, serve the oldest pending requests in
+	// the current round — the member of the strategy class the lower-bound
+	// proofs (Theorems 2.4, 2.5) describe. The exchange preserves
+	// cardinality, the per-class slot counts, and scheduled requests.
+	matching.PreferLowAtClass(wg.g, m, classOf, 0)
+	wg.apply(ctx.W, m)
+}

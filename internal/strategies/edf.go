@@ -1,0 +1,90 @@
+package strategies
+
+import (
+	"sort"
+
+	"reqsched/internal/core"
+)
+
+// EDF implements the Earliest Deadline First reference strategy of
+// Observations 3.1 and 3.2: every resource works independently, serving each
+// round the queued request copy with the earliest deadline (ties by ID). A
+// request with c alternatives enqueues a copy at each of them.
+//
+// In the *independent* variant (the analysis model of Observation 3.2) a
+// resource does not learn that a sibling copy was already served: it still
+// spends its round on the stale copy, wasting the slot. This makes EDF
+// exactly c-competitive for c alternatives (2 for the paper's model). The
+// *coordinated* variant (NewEDFCoordinated) skips served copies — a natural
+// implementation improvement the paper's analysis does not need, kept here as
+// an ablation.
+type EDF struct {
+	coordinated bool
+	queues      [][]*core.Request
+	served      map[int]bool
+}
+
+// NewEDF returns the independent-copies EDF strategy.
+func NewEDF() *EDF { return &EDF{} }
+
+// NewEDFCoordinated returns the EDF variant that cancels sibling copies when
+// a request is served.
+func NewEDFCoordinated() *EDF { return &EDF{coordinated: true} }
+
+// Name implements core.Strategy.
+func (e *EDF) Name() string {
+	if e.coordinated {
+		return "EDF_coordinated"
+	}
+	return "EDF"
+}
+
+// Begin implements core.Strategy.
+func (e *EDF) Begin(n, d int) {
+	e.queues = make([][]*core.Request, n)
+	e.served = make(map[int]bool)
+}
+
+// Round implements core.Strategy.
+func (e *EDF) Round(ctx *core.RoundContext) {
+	for _, r := range ctx.Arrivals {
+		for _, a := range r.Alts {
+			e.queues[a] = append(e.queues[a], r)
+		}
+	}
+	for i := range e.queues {
+		// Keep each queue in EDF order (deadline, then ID). Sorting the
+		// whole queue each round is O(q log q); queues are short in all the
+		// workloads of interest and clarity wins.
+		q := e.queues[i]
+		sort.SliceStable(q, func(a, b int) bool {
+			if q[a].Deadline() != q[b].Deadline() {
+				return q[a].Deadline() < q[b].Deadline()
+			}
+			return q[a].ID < q[b].ID
+		})
+		for len(q) > 0 {
+			r := q[0]
+			if r.Deadline() < ctx.T {
+				q = q[1:] // expired copy
+				continue
+			}
+			if e.served[r.ID] {
+				if e.coordinated {
+					q = q[1:] // cancelled copy: try the next one
+					continue
+				}
+				// Independent copies: the resource wastes this round
+				// serving a request that was already fulfilled elsewhere.
+				q = q[1:]
+				break
+			}
+			// Serve r now.
+			q = q[1:]
+			ctx.W.Assign(r, i, ctx.T)
+			e.served[r.ID] = true
+			break
+		}
+		e.queues[i] = q
+	}
+}

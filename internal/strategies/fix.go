@@ -1,0 +1,83 @@
+package strategies
+
+import (
+	"reqsched/internal/core"
+	"reqsched/internal/matching"
+)
+
+// Fix implements A_fix: every round, the previously computed assignments are
+// kept unchanged (no rescheduling, ever), and a maximum number of the
+// requests injected this round is matched into the remaining free slots,
+// yielding a maximal matching on G_t. Competitive ratio exactly 2 - 1/d
+// (Theorems 2.1 and 3.3).
+type Fix struct{}
+
+// NewFix returns the A_fix strategy.
+func NewFix() *Fix { return &Fix{} }
+
+// Name implements core.Strategy.
+func (*Fix) Name() string { return "A_fix" }
+
+// Begin implements core.Strategy.
+func (*Fix) Begin(n, d int) {}
+
+// Round implements core.Strategy.
+func (*Fix) Round(ctx *core.RoundContext) {
+	// Candidates: this round's arrivals first (their count is maximized),
+	// then any older unassigned requests (for maximality of the matching on
+	// G_t; with no rescheduling their slots can normally never free up, but
+	// the rule costs nothing and keeps the matching maximal by construction).
+	unassigned := ctx.Unassigned()
+	reqs := make([]*core.Request, 0, len(unassigned))
+	reqs = append(reqs, ctx.Arrivals...)
+	for _, r := range unassigned {
+		if r.Arrive < ctx.T {
+			reqs = append(reqs, r)
+		}
+	}
+	wg := buildGraph(ctx.W, reqs, true)
+	m := newEmptyMatching(wg)
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	// Augmenting in ID order with first-listed-alternative preference: the
+	// deterministic member of the A_fix class. Arrivals come first in reqs,
+	// so their matching is maximum before older requests are considered.
+	extendFromLeft(wg, m, order[:len(ctx.Arrivals)])
+	extendFromLeft(wg, m, order[len(ctx.Arrivals):])
+	wg.apply(ctx.W, m)
+}
+
+// FixBalance implements A_fix_balance: like A_fix it never reschedules, but
+// among the admissible extensions it maximizes F = sum_j X_{t+j}(n+1)^(d-j) —
+// lexicographically filling the earliest rounds first, which both serves
+// requests as early as possible and balances load across resources.
+// Competitive ratio between 3d/(2d+2) and 2 - 2/d for d > 3 (Theorems 2.3
+// and 3.4).
+type FixBalance struct{}
+
+// NewFixBalance returns the A_fix_balance strategy.
+func NewFixBalance() *FixBalance { return &FixBalance{} }
+
+// Name implements core.Strategy.
+func (*FixBalance) Name() string { return "A_fix_balance" }
+
+// Begin implements core.Strategy.
+func (*FixBalance) Begin(n, d int) {}
+
+// Round implements core.Strategy.
+func (*FixBalance) Round(ctx *core.RoundContext) {
+	reqs := ctx.Unassigned()
+	wg := buildGraph(ctx.W, reqs, true)
+	// The F-maximal extension over the free slots: matched slot sets form a
+	// transversal matroid, so processing slots in ascending round order with
+	// one augmenting search each yields the weight-greedy basis — maximum
+	// cardinality with lexicographically maximal (X_t, ..., X_{t+d-1}).
+	classOf := wg.roundClasses(wg.depth)
+	m := lexMax(wg, classOf)
+	// Serve the oldest requests in the current round (see eager.go); this is
+	// the member Theorem 2.4's d=2 bound for A_fix_balance reasons about.
+	matching.PreferLowAtClass(wg.g, m, classOf, 0)
+	wg.apply(ctx.W, m)
+}

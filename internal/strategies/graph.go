@@ -1,0 +1,128 @@
+package strategies
+
+import (
+	"reqsched/internal/core"
+	"reqsched/internal/matching"
+)
+
+// winGraph is a bipartite graph between a set of live requests and the slots
+// of the current window, with the shared slot indexing
+// (round - t) * n + resource.
+type winGraph struct {
+	g     *matching.Graph
+	reqs  []*core.Request
+	n     int
+	t     int // current round
+	depth int
+}
+
+// slotIdx maps (resource, absolute round) to the right-vertex index.
+func (wg *winGraph) slotIdx(res, round int) int { return (round-wg.t)*wg.n + res }
+
+// slotOf inverts slotIdx.
+func (wg *winGraph) slotOf(idx int) (res, round int) {
+	return idx % wg.n, wg.t + idx/wg.n
+}
+
+// buildGraph constructs the window graph for the given requests. If onlyFree
+// is true, slots currently assigned in w are omitted (the A_fix family, which
+// never reschedules, matches new requests into the free slots only); if
+// false, all window slots are vertices (the A_eager family recomputes from
+// scratch after snapshotting). Edges follow the deterministic preference
+// order: per request, alternatives as listed, rounds ascending, clipped to
+// the request's deadline.
+func buildGraph(w *core.Window, reqs []*core.Request, onlyFree bool) *winGraph {
+	wg := &winGraph{
+		reqs:  reqs,
+		n:     w.N(),
+		t:     w.Round(),
+		depth: w.Depth(),
+	}
+	wg.g = matching.NewGraph(len(reqs), wg.depth*wg.n)
+	for li, r := range reqs {
+		last := r.Deadline()
+		if max := wg.t + wg.depth - 1; last > max {
+			last = max
+		}
+		for _, a := range r.Alts {
+			for round := wg.t; round <= last; round++ {
+				if onlyFree && !w.Free(a, round) {
+					continue
+				}
+				wg.g.AddEdge(li, wg.slotIdx(a, round))
+			}
+		}
+	}
+	return wg
+}
+
+// roundClasses returns the weight-class vector used by the balance
+// strategies: slot class = rounds-from-now, so class 0 (the current round) is
+// the most preferred. maxClass caps the classes (A_eager uses 2: "now" vs
+// "later").
+func (wg *winGraph) roundClasses(maxClass int) []int32 {
+	classOf := make([]int32, wg.depth*wg.n)
+	for idx := range classOf {
+		c := idx / wg.n
+		if c >= maxClass {
+			c = maxClass - 1
+		}
+		classOf[idx] = int32(c)
+	}
+	return classOf
+}
+
+// coverMatching converts a window snapshot into a matching of wg (the
+// inherited schedule), for use with matching.CoverLeft. Requests in the
+// snapshot that are not in reqs (already served) are skipped.
+func (wg *winGraph) coverMatching(snapshot []core.Assignment) *matching.Matching {
+	index := make(map[int]int, len(wg.reqs))
+	for li, r := range wg.reqs {
+		index[r.ID] = li
+	}
+	m := matching.NewMatching(wg.g.NLeft(), wg.g.NRight())
+	for _, a := range snapshot {
+		if li, ok := index[a.Req.ID]; ok {
+			m.Match(li, wg.slotIdx(a.Res, a.Round))
+		}
+	}
+	return m
+}
+
+// newCurrentGraph returns an empty graph sized like a window graph; used by
+// A_current, which only adds current-round edges.
+func newCurrentGraph(nLeft, nRight int) *matching.Graph {
+	return matching.NewGraph(nLeft, nRight)
+}
+
+// newEmptyMatching returns an empty matching sized for wg.
+func newEmptyMatching(wg *winGraph) *matching.Matching {
+	return matching.NewMatching(wg.g.NLeft(), wg.g.NRight())
+}
+
+// extendFromLeft augments m from the listed left vertices in order.
+func extendFromLeft(wg *winGraph, m *matching.Matching, order []int) int {
+	return matching.ExtendFromLeft(wg.g, m, order)
+}
+
+// lexMax computes the weight-class greedy maximum matching of wg.
+func lexMax(wg *winGraph, classOf []int32) *matching.Matching {
+	return matching.LexMax(wg.g, classOf)
+}
+
+// apply writes matched pairs into the window. Requests already assigned in w
+// are skipped (the A_fix family extends in place); the A_eager family resets
+// the window first so everything is applied.
+func (wg *winGraph) apply(w *core.Window, m *matching.Matching) {
+	for li, ridx := range m.L2R {
+		if ridx == matching.None {
+			continue
+		}
+		r := wg.reqs[li]
+		if w.Assigned(r) {
+			continue
+		}
+		res, round := wg.slotOf(int(ridx))
+		w.Assign(r, res, round)
+	}
+}

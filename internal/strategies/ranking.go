@@ -1,0 +1,58 @@
+package strategies
+
+import "reqsched/internal/core"
+
+// Ranking is a randomized strategy in the spirit of the RANKING algorithm of
+// Karp, Vazirani and Vazirani [KVV90], which the paper's related-work section
+// discusses: every time slot carries a random rank fixed before the sequence
+// starts, and each arriving request is matched to the admissible free slot of
+// minimum rank, never to be rescheduled. KVV prove e/(e-1)-competitiveness
+// for one-shot online bipartite matching; in the deadline model it is an
+// extension experiment — the interesting property is that its behavior does
+// not depend on the listing order or injection order the deterministic
+// lower-bound adversaries exploit (only on the seed), so those constructions
+// lose most of their force against it.
+//
+// Slot ranks are derived from the seed with a SplitMix64-style hash of
+// (resource, round), so they need no storage and the strategy is
+// deterministic per seed.
+type Ranking struct {
+	seed uint64
+}
+
+// NewRanking returns the RANKING-style strategy with the given seed.
+func NewRanking(seed int64) *Ranking { return &Ranking{seed: uint64(seed)} }
+
+// Name implements core.Strategy.
+func (*Ranking) Name() string { return "ranking" }
+
+// Begin implements core.Strategy.
+func (s *Ranking) Begin(n, d int) {}
+
+// rank returns the slot's random rank.
+func (s *Ranking) rank(res, round int) uint64 {
+	x := s.seed ^ (uint64(res)<<32 + uint64(uint32(round)))
+	// SplitMix64 finalizer.
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Round implements core.Strategy.
+func (s *Ranking) Round(ctx *core.RoundContext) {
+	for _, r := range ctx.Arrivals {
+		slots := ctx.W.FreeSlotsFor(r)
+		if len(slots) == 0 {
+			continue
+		}
+		best := slots[0]
+		bestRank := s.rank(best.Res, best.Round)
+		for _, sl := range slots[1:] {
+			if rk := s.rank(sl.Res, sl.Round); rk < bestRank {
+				best, bestRank = sl, rk
+			}
+		}
+		ctx.W.Assign(r, best.Res, best.Round)
+	}
+}

@@ -1,0 +1,60 @@
+// Package strategies implements the paper's global online scheduling
+// strategies (Section 1.3): A_fix, A_current, A_fix_balance, A_eager,
+// A_balance, the EDF reference strategies of Observations 3.1/3.2, and two
+// trivial baselines.
+//
+// The paper defines each strategy as a *class* of algorithms ("choose any
+// maximal/maximum matching such that ..."); its lower bounds are existential
+// ("can be implemented in a way that ..."). This package pins one
+// deterministic member of each class: requests are processed in ID (arrival)
+// order, alternatives in their listed order, slots in ascending round order,
+// and the matching subroutines of internal/matching inherit those orders. The
+// adversarial constructions of internal/adversary choose arrival order and
+// alternative listing so that this fixed implementation realizes exactly the
+// executions the lower-bound proofs describe, while the upper bounds of
+// Section 3 hold for every member of the class — and are property-tested
+// against this one.
+package strategies
+
+import "reqsched/internal/core"
+
+// New returns a fresh instance of every strategy in the package, keyed by
+// name. Tests and the CLI tools iterate over this set.
+func New() map[string]core.Strategy {
+	list := []core.Strategy{
+		NewFix(),
+		NewCurrent(),
+		NewFixBalance(),
+		NewEager(),
+		NewBalance(),
+		NewEDF(),
+		NewEDFCoordinated(),
+		NewFirstFit(),
+	}
+	m := make(map[string]core.Strategy, len(list))
+	for _, s := range list {
+		m[s.Name()] = s
+	}
+	return m
+}
+
+// Global returns fresh instances of the five global strategies of Table 1,
+// in the table's row order.
+func Global() []core.Strategy {
+	return []core.Strategy{
+		NewFix(),
+		NewCurrent(),
+		NewFixBalance(),
+		NewEager(),
+		NewBalance(),
+	}
+}
+
+// ByName returns a fresh strategy by its Name(), or nil.
+func ByName(name string) core.Strategy {
+	s, ok := New()[name]
+	if !ok {
+		return nil
+	}
+	return s
+}

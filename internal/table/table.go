@@ -1,0 +1,178 @@
+// Package table regenerates the paper's Table 1: for every strategy row it
+// runs the matching lower-bound adversary, measures OPT/ALG, and pairs the
+// measurement with the proven lower and upper bounds. Used by cmd/table1 and
+// the benchmark harness.
+package table
+
+import (
+	"fmt"
+	"strings"
+
+	"reqsched/internal/adversary"
+	"reqsched/internal/core"
+	"reqsched/internal/local"
+	"reqsched/internal/ratio"
+	"reqsched/internal/strategies"
+)
+
+func localFix() core.Strategy   { return local.NewFix() }
+func localEager() core.Strategy { return local.NewEager() }
+
+// Entry is one measured cell of the Table 1 reproduction.
+type Entry struct {
+	Row      string // strategy name (Table 1 row)
+	Param    string // the construction's natural parameter, e.g. "d=4"
+	Theorem  string
+	D        int
+	OPT, ALG int
+	ProvenLB float64
+	LBNote   string // "asympt." when the proven LB is a limit
+	ProvenUB float64
+}
+
+// Measured returns the empirical ratio OPT/ALG.
+func (e Entry) Measured() float64 {
+	if e.ALG == 0 {
+		return 0
+	}
+	return float64(e.OPT) / float64(e.ALG)
+}
+
+// Config controls the reproduction's scale.
+type Config struct {
+	// Phases is the number of adversary phases/intervals (the additive
+	// constant washes out as it grows).
+	Phases int
+	// Groups is the group count for the Theorem 2.5 construction (its
+	// bound holds in the limit of many groups).
+	Groups int
+}
+
+// DefaultConfig returns the scale used by cmd/table1 and the benches.
+func DefaultConfig() Config { return Config{Phases: 40, Groups: 32} }
+
+func entry(row, param, theorem string, d int, m ratio.Measurement) Entry {
+	lb, asym, _ := strategies.LowerBound(row, d)
+	ub, _ := strategies.UpperBound(row, d)
+	note := ""
+	if asym {
+		note = "asympt."
+	}
+	return Entry{
+		Row: row, Param: param, Theorem: theorem, D: d,
+		OPT: m.OPT, ALG: m.ALG,
+		ProvenLB: lb, LBNote: note, ProvenUB: ub,
+	}
+}
+
+// Rows measures every Table 1 row on its lower-bound construction across a
+// spread of deadline windows.
+func Rows(cfg Config) []Entry {
+	var out []Entry
+
+	// Row 1: A_fix, Theorem 2.1, LB = UB = 2 - 1/d.
+	for _, d := range []int{2, 3, 4, 8, 16} {
+		m := ratio.MeasureConstruction(adversary.Fix(d, cfg.Phases), strategies.NewFix())
+		out = append(out, entry("A_fix", fmt.Sprintf("d=%d", d), "Thm 2.1", d, m))
+	}
+
+	// Row 2: A_current. d=2 via the Theorem 2.4 construction; growing l via
+	// Theorem 2.2 (d = lcm(1..l)), converging to e/(e-1).
+	m := ratio.MeasureConstruction(adversary.Eager(2, cfg.Phases), strategies.NewCurrent())
+	out = append(out, entry("A_current", "d=2", "Thm 2.4", 2, m))
+	for _, l := range []int{3, 4, 5, 6} {
+		c := adversary.Current(l, max(2, cfg.Phases/8))
+		m := ratio.MeasureConstruction(c, strategies.NewCurrent())
+		out = append(out, entry("A_current", fmt.Sprintf("l=%d,d=%d", l, c.D), "Thm 2.2", c.D, m))
+	}
+
+	// Row 3: A_fix_balance. d=2 via Theorem 2.4; even d via Theorem 2.3.
+	m = ratio.MeasureConstruction(adversary.Eager(2, cfg.Phases), strategies.NewFixBalance())
+	out = append(out, entry("A_fix_balance", "d=2", "Thm 2.4", 2, m))
+	for _, d := range []int{4, 8, 12, 16} {
+		m := ratio.MeasureConstruction(adversary.FixBalance(d, cfg.Phases), strategies.NewFixBalance())
+		out = append(out, entry("A_fix_balance", fmt.Sprintf("d=%d", d), "Thm 2.3", d, m))
+	}
+
+	// Row 4: A_eager, Theorem 2.4, LB 4/3 for all d.
+	for _, d := range []int{2, 4, 8, 16} {
+		m := ratio.MeasureConstruction(adversary.Eager(d, cfg.Phases), strategies.NewEager())
+		out = append(out, entry("A_eager", fmt.Sprintf("d=%d", d), "Thm 2.4", d, m))
+	}
+
+	// Row 5: A_balance. d=2 via Theorem 2.4; d=3x-1 via Theorem 2.5.
+	m = ratio.MeasureConstruction(adversary.Eager(2, cfg.Phases), strategies.NewBalance())
+	out = append(out, entry("A_balance", "d=2", "Thm 2.4", 2, m))
+	for _, x := range []int{1, 2, 3, 4} {
+		d := 3*x - 1
+		c := adversary.Balance(x, cfg.Groups, cfg.Phases)
+		m := ratio.MeasureConstruction(c, strategies.NewBalance())
+		out = append(out, entry("A_balance", fmt.Sprintf("x=%d,k=%d", x, cfg.Groups), "Thm 2.5", d, m))
+	}
+
+	// Row 6: the universal adversary versus every deterministic strategy.
+	for _, s := range allUniversalTargets() {
+		c := adversary.Universal(6, max(5, cfg.Phases/2))
+		m := ratio.MeasureConstruction(c, s)
+		e := entry(s.Name(), "d=6", "Thm 2.6", 6, m)
+		e.Row = "any (" + s.Name() + ")"
+		e.ProvenLB = strategies.UniversalLowerBound()
+		e.LBNote = "universal"
+		out = append(out, e)
+	}
+	return out
+}
+
+// LocalRows measures the local strategies (Theorems 3.7, 3.8).
+func LocalRows(cfg Config) []Entry {
+	var out []Entry
+	for _, d := range []int{2, 4, 8} {
+		m := ratio.MeasureConstruction(adversary.LocalFix(d, cfg.Phases), localFix())
+		out = append(out, entry("A_local_fix", fmt.Sprintf("d=%d", d), "Thm 3.7", d, m))
+	}
+	for _, d := range []int{2, 4, 8} {
+		m := ratio.MeasureConstruction(adversary.LocalFix(d, cfg.Phases), localEager())
+		e := entry("A_local_eager", fmt.Sprintf("d=%d", d), "Thm 3.8", d, m)
+		out = append(out, e)
+	}
+	// EDF's exactly-2 family (Observation 3.2).
+	for _, d := range []int{2, 4} {
+		m := ratio.MeasureConstruction(adversary.EDFWorstCase(d, cfg.Phases), strategies.NewEDF())
+		out = append(out, entry("EDF", fmt.Sprintf("d=%d", d), "Obs 3.2", d, m))
+	}
+	return out
+}
+
+// Format renders entries as an aligned text table.
+func Format(entries []Entry) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-22s %-12s %-9s %8s %8s %9s %9s %-8s %9s %s\n",
+		"strategy", "param", "theorem", "OPT", "ALG", "measured", "provenLB", "", "provenUB", "UB ok")
+	for _, e := range entries {
+		ok := "yes"
+		if e.ProvenUB > 0 && e.Measured() > e.ProvenUB+1e-9 {
+			ok = "VIOLATED"
+		}
+		lb := fmt.Sprintf("%9.4f", e.ProvenLB)
+		if e.ProvenLB == 0 {
+			lb = "        —" // the paper proves no lower bound for this row
+		}
+		fmt.Fprintf(&sb, "%-22s %-12s %-9s %8d %8d %9.4f %s %-8s %9.4f %s\n",
+			e.Row, e.Param, e.Theorem, e.OPT, e.ALG, e.Measured(), lb, e.LBNote, e.ProvenUB, ok)
+	}
+	return sb.String()
+}
+
+func allUniversalTargets() []core.Strategy {
+	out := strategies.Global()
+	out = append(out, strategies.NewEDF(), strategies.NewFirstFit())
+	out = append(out, localFix(), localEager())
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

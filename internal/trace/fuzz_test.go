@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"reqsched/internal/core"
+)
+
+// FuzzRead ensures the deserializer never panics and never yields an invalid
+// trace on arbitrary input, and that valid outputs survive a round trip.
+func FuzzRead(f *testing.F) {
+	seed := func(build func(b *core.Builder)) {
+		b := core.NewBuilder(3, 2)
+		build(b)
+		var buf bytes.Buffer
+		if err := Write(&buf, b.Build()); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(func(b *core.Builder) { b.Add(0, 0, 1) })
+	seed(func(b *core.Builder) { b.AddWindow(2, 5, 2); b.Add(3, 1, 0) })
+	f.Add([]byte(`{"n":1,"d":1,"requests":[{"t":0,"alts":[0]}]}`))
+	f.Add([]byte(`{"n":0}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"n":2,"d":1,"requests":[{"t":-1,"alts":[0,1]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Read returned invalid trace: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		tr2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if tr2.NumRequests() != tr.NumRequests() || tr2.N != tr.N || tr2.D != tr.D {
+			t.Fatal("round trip changed the trace")
+		}
+	})
+}

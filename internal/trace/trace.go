@@ -1,0 +1,126 @@
+// Package trace serializes request traces to JSON so adversarial and
+// synthetic workloads can be stored, inspected and replayed (cmd/tracegen),
+// and provides summary statistics for a trace.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"reqsched/internal/core"
+)
+
+// fileFormat is the on-disk representation: compact per-request records
+// rather than the in-memory round-indexed layout.
+type fileFormat struct {
+	N        int          `json:"n"`
+	D        int          `json:"d"`
+	Requests []fileRecord `json:"requests"`
+}
+
+type fileRecord struct {
+	T    int   `json:"t"`
+	Alts []int `json:"alts"`
+	D    int   `json:"d,omitempty"` // omitted when equal to the trace default
+	W    int   `json:"w,omitempty"` // omitted at the default weight 1
+}
+
+// Write serializes tr as JSON.
+func Write(w io.Writer, tr *core.Trace) error {
+	ff := fileFormat{N: tr.N, D: tr.D}
+	for _, r := range tr.Requests() {
+		rec := fileRecord{T: r.Arrive, Alts: r.Alts}
+		if r.D != tr.D {
+			rec.D = r.D
+		}
+		if r.Weight() != 1 {
+			rec.W = r.Weight()
+		}
+		ff.Requests = append(ff.Requests, rec)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(ff)
+}
+
+// Read deserializes a trace written by Write and validates it.
+func Read(r io.Reader) (*core.Trace, error) {
+	var ff fileFormat
+	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if ff.N < 1 || ff.D < 1 {
+		return nil, fmt.Errorf("trace: invalid header n=%d d=%d", ff.N, ff.D)
+	}
+	b := core.NewBuilder(ff.N, ff.D)
+	for i, rec := range ff.Requests {
+		// Validate before handing to the Builder: the Builder treats bad
+		// input as a programming error and panics, but Read is an input
+		// boundary and must reject malformed files gracefully. (Alternative
+		// ranges and duplicates are caught by Trace.Validate below.)
+		if rec.T < 0 {
+			return nil, fmt.Errorf("trace: request %d has negative arrival round %d", i, rec.T)
+		}
+		if rec.D < 0 {
+			return nil, fmt.Errorf("trace: request %d has negative window %d", i, rec.D)
+		}
+		if rec.W < 0 {
+			return nil, fmt.Errorf("trace: request %d has negative weight %d", i, rec.W)
+		}
+		d := rec.D
+		if d == 0 {
+			d = ff.D
+		}
+		id := b.AddWindow(rec.T, d, rec.Alts...)
+		if rec.W > 1 {
+			b.SetWeight(id, rec.W)
+		}
+	}
+	tr := b.Build()
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	N, D        int
+	Requests    int
+	Rounds      int     // rounds with arrivals
+	Horizon     int     // simulation horizon
+	PeakArrival int     // max arrivals in one round
+	MeanArrival float64 // mean arrivals per round with arrivals
+	Load        float64 // requests / (n * horizon): nominal utilization
+}
+
+// Summarize computes Stats for tr.
+func Summarize(tr *core.Trace) Stats {
+	s := Stats{
+		N:        tr.N,
+		D:        tr.D,
+		Requests: tr.NumRequests(),
+		Horizon:  tr.Horizon(),
+	}
+	for _, rs := range tr.Arrivals {
+		if len(rs) == 0 {
+			continue
+		}
+		s.Rounds++
+		if len(rs) > s.PeakArrival {
+			s.PeakArrival = len(rs)
+		}
+	}
+	if s.Rounds > 0 {
+		s.MeanArrival = float64(s.Requests) / float64(s.Rounds)
+	}
+	if s.Horizon > 0 {
+		s.Load = float64(s.Requests) / float64(s.N*s.Horizon)
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d d=%d requests=%d arrival-rounds=%d horizon=%d peak=%d mean=%.2f load=%.2f",
+		s.N, s.D, s.Requests, s.Rounds, s.Horizon, s.PeakArrival, s.MeanArrival, s.Load)
+}

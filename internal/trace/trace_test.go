@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"reqsched/internal/core"
+	"reqsched/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	orig := workload.Zipf(workload.Config{N: 6, D: 4, Rounds: 20, Rate: 7, Seed: 5}, 1.3)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != orig.N || got.D != orig.D || got.NumRequests() != orig.NumRequests() {
+		t.Fatalf("header mismatch: %d/%d/%d vs %d/%d/%d",
+			got.N, got.D, got.NumRequests(), orig.N, orig.D, orig.NumRequests())
+	}
+	a, b := orig.Requests(), got.Requests()
+	for i := range a {
+		if a[i].Arrive != b[i].Arrive || a[i].D != b[i].D || len(a[i].Alts) != len(b[i].Alts) {
+			t.Fatalf("request %d differs: %v vs %v", i, a[i], b[i])
+		}
+		for j := range a[i].Alts {
+			if a[i].Alts[j] != b[i].Alts[j] {
+				t.Fatalf("request %d alts differ", i)
+			}
+		}
+	}
+}
+
+func TestRoundTripPerRequestDeadlines(t *testing.T) {
+	b := core.NewBuilder(3, 5)
+	b.AddWindow(0, 2, 0, 1)
+	b.AddWindow(1, 5, 1, 2) // equals default: omitted on disk
+	b.AddWindow(3, 1, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, b.Build()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := got.Requests()
+	if reqs[0].D != 2 || reqs[1].D != 5 || reqs[2].D != 1 {
+		t.Fatalf("deadlines lost: %d %d %d", reqs[0].D, reqs[1].D, reqs[2].D)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, err := Read(strings.NewReader(`{"n":0,"d":1,"requests":[]}`)); err == nil {
+		t.Fatal("expected header validation error")
+	}
+	if _, err := Read(strings.NewReader(`{"n":2,"d":1,"requests":[{"t":0,"alts":[5]}]}`)); err == nil {
+		t.Fatal("expected trace validation error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	b := core.NewBuilder(2, 2)
+	b.Add(0, 0, 1)
+	b.Add(0, 1, 0)
+	b.Add(2, 0, 1)
+	s := Summarize(b.Build())
+	if s.Requests != 3 || s.Rounds != 2 || s.PeakArrival != 2 {
+		t.Fatalf("stats wrong: %+v", s)
+	}
+	if s.Horizon != 4 { // last arrival at 2, d=2 -> deadline 3 -> horizon 4
+		t.Fatalf("horizon %d", s.Horizon)
+	}
+	if s.MeanArrival != 1.5 {
+		t.Fatalf("mean %f", s.MeanArrival)
+	}
+	if s.String() == "" {
+		t.Fatal("empty string form")
+	}
+}
+
+func TestRoundTripWeights(t *testing.T) {
+	b := core.NewBuilder(3, 2)
+	b.Add(0, 0, 1)
+	b.AddWeighted(0, 7, 1, 2)
+	b.AddWeighted(1, 1, 2, 0) // explicit default weight: omitted on disk
+	var buf bytes.Buffer
+	if err := Write(&buf, b.Build()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), `"w":`) != 1 {
+		t.Fatalf("default weights should be omitted: %s", buf.String())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := got.Requests()
+	if reqs[0].Weight() != 1 || reqs[1].Weight() != 7 || reqs[2].Weight() != 1 {
+		t.Fatalf("weights lost: %d %d %d", reqs[0].Weight(), reqs[1].Weight(), reqs[2].Weight())
+	}
+}
+
+func TestReadRejectsNegativeWeight(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"n":2,"d":1,"requests":[{"t":0,"alts":[0],"w":-3}]}`)); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}

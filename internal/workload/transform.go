@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"math/rand"
+
+	"reqsched/internal/core"
+)
+
+// MixedDeadlines generates two-choice traffic where every request draws its
+// own deadline window uniformly from [1, cfg.D]. The paper notes that the
+// EDF observations extend to heterogeneous deadlines; this generator lets
+// the tests exercise every strategy under them (the engine and all
+// strategies support per-request windows).
+func MixedDeadlines(cfg Config) *core.Trace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := core.NewBuilder(cfg.N, cfg.D)
+	for t := 0; t < cfg.Rounds; t++ {
+		k := poisson(rng, cfg.Rate)
+		for i := 0; i < k; i++ {
+			a, c := distinctPair(rng, cfg.N, func() int { return rng.Intn(cfg.N) })
+			b.AddWindow(t, 1+rng.Intn(cfg.D), a, c)
+		}
+	}
+	return b.Build()
+}
+
+// ShuffleAlts returns a copy of tr in which every request's alternative list
+// is independently shuffled. The lower-bound adversaries steer the
+// deterministic strategies through the *listing order* of alternatives;
+// shuffling it is the tie-breaking ablation of DESIGN.md: it shows how much
+// of each forced ratio survives when the adversary cannot predict the
+// implementation's preference.
+func ShuffleAlts(tr *core.Trace, seed int64) *core.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	b := core.NewBuilder(tr.N, tr.D)
+	for t, rs := range tr.Arrivals {
+		for i := range rs {
+			alts := append([]int(nil), rs[i].Alts...)
+			rng.Shuffle(len(alts), func(x, y int) { alts[x], alts[y] = alts[y], alts[x] })
+			b.AddWindow(t, rs[i].D, alts...)
+		}
+	}
+	return b.Build()
+}
+
+// TrapMix embeds Theorem 2.1-style traps into random background traffic: at
+// random intervals a resource pair is flooded with a block while bridge
+// requests baiting that pair arrive one round earlier. The blend is what a
+// "realistic but occasionally adversarial" client population looks like, and
+// separates the rescheduling strategies from the fix family far more than
+// pure random load does. The background uses resources outside the trap
+// pairs so the traps stay sharp.
+func TrapMix(cfg Config, trapEvery int) *core.Trace {
+	if cfg.N < 6 {
+		panic("workload: TrapMix needs n >= 6 (two trap resources + background)")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := core.NewBuilder(cfg.N, cfg.D)
+	d := cfg.D
+	for t := 0; t < cfg.Rounds; t++ {
+		// Background on resources 4..n-1.
+		k := poisson(rng, cfg.Rate)
+		for i := 0; i < k; i++ {
+			span := cfg.N - 4
+			a := 4 + rng.Intn(span)
+			c := 4 + rng.Intn(span-1)
+			if c >= a {
+				c++
+			}
+			b.Add(t, a, c)
+		}
+		// Trap: bridges now, flood next round.
+		if trapEvery > 0 && t%trapEvery == 0 && t+1 < cfg.Rounds {
+			for i := 0; i < d-1; i++ {
+				b.Add(t, 1, 0) // bridge baiting resource 1
+				b.Add(t, 2, 3)
+			}
+			for i := 0; i < d; i++ {
+				b.Add(t+1, 1, 2)
+				b.Add(t+1, 2, 1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ShuffleArrivalOrder returns a copy of tr in which the injection order
+// within every round is shuffled (IDs are renumbered accordingly). The
+// second half of the tie-breaking ablation: the adversaries also rely on
+// processing order within a round.
+func ShuffleArrivalOrder(tr *core.Trace, seed int64) *core.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	b := core.NewBuilder(tr.N, tr.D)
+	for t, rs := range tr.Arrivals {
+		perm := rng.Perm(len(rs))
+		for _, i := range perm {
+			b.AddWindow(t, rs[i].D, rs[i].Alts...)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,204 @@
+// Package workload generates synthetic request traces for the empirical
+// comparisons: uniform two-choice traffic, Zipf hot spots, bursty on/off
+// load, a video-on-demand catalog (the paper's motivating application), and
+// the single-/c-choice variants used by the EDF observations. All generators
+// are deterministic given their seed.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"reqsched/internal/core"
+)
+
+// Config carries the parameters shared by all generators.
+type Config struct {
+	// N is the number of resources; D the deadline window.
+	N, D int
+	// Rounds is the number of rounds with arrivals.
+	Rounds int
+	// Rate is the mean number of arrivals per round (Poisson distributed).
+	// Rate = N corresponds to nominal 100% load.
+	Rate float64
+	// Seed seeds the generator.
+	Seed int64
+}
+
+// poisson draws a Poisson(lambda) variate (Knuth's product method; fine for
+// the modest rates used here).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// distinctPair returns two distinct resources; the first is drawn by first()
+// and the second uniformly among the rest.
+func distinctPair(rng *rand.Rand, n int, first func() int) (int, int) {
+	a := first()
+	b := rng.Intn(n - 1)
+	if b >= a {
+		b++
+	}
+	return a, b
+}
+
+// Uniform generates two-choice requests whose alternatives are a uniformly
+// random distinct pair.
+func Uniform(cfg Config) *core.Trace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := core.NewBuilder(cfg.N, cfg.D)
+	for t := 0; t < cfg.Rounds; t++ {
+		k := poisson(rng, cfg.Rate)
+		for i := 0; i < k; i++ {
+			a, c := distinctPair(rng, cfg.N, func() int { return rng.Intn(cfg.N) })
+			b.Add(t, a, c)
+		}
+	}
+	return b.Build()
+}
+
+// Zipf generates two-choice requests whose first alternative follows a Zipf
+// distribution with exponent s > 1 (a hot-spot pattern: a few disks hold the
+// popular data), second alternative uniform among the rest.
+func Zipf(cfg Config, s float64) *core.Trace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	z := rand.NewZipf(rng, s, 1, uint64(cfg.N-1))
+	b := core.NewBuilder(cfg.N, cfg.D)
+	for t := 0; t < cfg.Rounds; t++ {
+		k := poisson(rng, cfg.Rate)
+		for i := 0; i < k; i++ {
+			a, c := distinctPair(rng, cfg.N, func() int { return int(z.Uint64()) })
+			b.Add(t, a, c)
+		}
+	}
+	return b.Build()
+}
+
+// Bursty alternates onLen rounds at burstRate arrivals/round with offLen
+// quiet rounds at cfg.Rate — the correlated-arrival pattern the paper's
+// adversarial model is meant to capture.
+func Bursty(cfg Config, onLen, offLen int, burstRate float64) *core.Trace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := core.NewBuilder(cfg.N, cfg.D)
+	period := onLen + offLen
+	for t := 0; t < cfg.Rounds; t++ {
+		rate := cfg.Rate
+		if t%period < onLen {
+			rate = burstRate
+		}
+		k := poisson(rng, rate)
+		for i := 0; i < k; i++ {
+			a, c := distinctPair(rng, cfg.N, func() int { return rng.Intn(cfg.N) })
+			b.Add(t, a, c)
+		}
+	}
+	return b.Build()
+}
+
+// VideoServer models the paper's motivating application: a catalog of
+// `items` data items, each replicated on two distinct disks chosen at setup
+// (random duplicated assignment, cf. [Kor97]), with request popularity Zipf
+// with exponent s. Correlated demand for a hot item hammers the same two
+// disks — the case where two-choice scheduling matters.
+func VideoServer(cfg Config, items int, s float64) *core.Trace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type replica struct{ a, b int }
+	catalog := make([]replica, items)
+	for i := range catalog {
+		a, c := distinctPair(rng, cfg.N, func() int { return rng.Intn(cfg.N) })
+		catalog[i] = replica{a, c}
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(items-1))
+	b := core.NewBuilder(cfg.N, cfg.D)
+	for t := 0; t < cfg.Rounds; t++ {
+		k := poisson(rng, cfg.Rate)
+		for i := 0; i < k; i++ {
+			it := catalog[z.Uint64()]
+			// Preference order randomized so neither replica is special.
+			if rng.Intn(2) == 0 {
+				b.Add(t, it.a, it.b)
+			} else {
+				b.Add(t, it.b, it.a)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// SingleChoice generates requests naming exactly one resource — the
+// Observation 3.1 setting, with per-request deadlines in [1, cfg.D].
+func SingleChoice(cfg Config) *core.Trace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := core.NewBuilder(cfg.N, cfg.D)
+	for t := 0; t < cfg.Rounds; t++ {
+		k := poisson(rng, cfg.Rate)
+		for i := 0; i < k; i++ {
+			b.AddWindow(t, 1+rng.Intn(cfg.D), rng.Intn(cfg.N))
+		}
+	}
+	return b.Build()
+}
+
+// Weighted generates uniform two-choice traffic where each request draws a
+// weight from {1, ..., maxW} with heavy requests rare (weight w with
+// probability proportional to 1/w) — priority classes for the weighted
+// extension.
+func Weighted(cfg Config, maxW int) *core.Trace {
+	if maxW < 1 {
+		panic("workload: maxW must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Harmonic cumulative table for the 1/w distribution.
+	cum := make([]float64, maxW+1)
+	for w := 1; w <= maxW; w++ {
+		cum[w] = cum[w-1] + 1/float64(w)
+	}
+	drawW := func() int {
+		x := rng.Float64() * cum[maxW]
+		for w := 1; w <= maxW; w++ {
+			if x <= cum[w] {
+				return w
+			}
+		}
+		return maxW
+	}
+	b := core.NewBuilder(cfg.N, cfg.D)
+	for t := 0; t < cfg.Rounds; t++ {
+		k := poisson(rng, cfg.Rate)
+		for i := 0; i < k; i++ {
+			a, c := distinctPair(rng, cfg.N, func() int { return rng.Intn(cfg.N) })
+			b.AddWeighted(t, drawW(), a, c)
+		}
+	}
+	return b.Build()
+}
+
+// CChoice generates requests with c distinct alternatives in random order —
+// the extension under which EDF is c-competitive.
+func CChoice(cfg Config, c int) *core.Trace {
+	if c > cfg.N {
+		panic("workload: more alternatives than resources")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := core.NewBuilder(cfg.N, cfg.D)
+	for t := 0; t < cfg.Rounds; t++ {
+		k := poisson(rng, cfg.Rate)
+		for i := 0; i < k; i++ {
+			alts := rng.Perm(cfg.N)[:c]
+			b.Add(t, alts...)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"testing"
+
+	"reqsched/internal/core"
+)
+
+func cfg(seed int64) Config {
+	return Config{N: 6, D: 4, Rounds: 30, Rate: 7, Seed: seed}
+}
+
+func TestGeneratorsProduceValidTraces(t *testing.T) {
+	gens := map[string]func() *core.Trace{
+		"uniform": func() *core.Trace { return Uniform(cfg(1)) },
+		"zipf":    func() *core.Trace { return Zipf(cfg(2), 1.4) },
+		"bursty":  func() *core.Trace { return Bursty(cfg(3), 4, 6, 20) },
+		"video":   func() *core.Trace { return VideoServer(cfg(4), 50, 1.3) },
+		"single":  func() *core.Trace { return SingleChoice(cfg(5)) },
+		"cchoice": func() *core.Trace { return CChoice(cfg(6), 3) },
+		"mixed":   func() *core.Trace { return MixedDeadlines(cfg(7)) },
+	}
+	for name, gen := range gens {
+		tr := gen()
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tr.NumRequests() == 0 {
+			t.Fatalf("%s: empty trace", name)
+		}
+	}
+}
+
+func TestGeneratorsDeterministicPerSeed(t *testing.T) {
+	a := Uniform(cfg(42))
+	b := Uniform(cfg(42))
+	c := Uniform(cfg(43))
+	if a.NumRequests() != b.NumRequests() {
+		t.Fatal("same seed differs")
+	}
+	ra, rb := a.Requests(), b.Requests()
+	for i := range ra {
+		if ra[i].Arrive != rb[i].Arrive || ra[i].Alts[0] != rb[i].Alts[0] {
+			t.Fatal("same seed differs in content")
+		}
+	}
+	if a.NumRequests() == c.NumRequests() {
+		// Possible but astronomically unlikely to also match content;
+		// check one differing request exists.
+		diff := false
+		rc := c.Requests()
+		for i := range ra {
+			if i < len(rc) && (ra[i].Alts[0] != rc[i].Alts[0] || ra[i].Alts[1] != rc[i].Alts[1]) {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestTwoChoiceAlternativesDistinct(t *testing.T) {
+	for _, tr := range []*core.Trace{Uniform(cfg(8)), Zipf(cfg(9), 2.0), VideoServer(cfg(10), 30, 1.5)} {
+		for _, r := range tr.Requests() {
+			if len(r.Alts) != 2 || r.Alts[0] == r.Alts[1] {
+				t.Fatalf("bad alternatives %v", r.Alts)
+			}
+		}
+	}
+}
+
+func TestCChoiceAlternativeCount(t *testing.T) {
+	for _, c := range []int{1, 2, 4} {
+		tr := CChoice(cfg(11), c)
+		for _, r := range tr.Requests() {
+			if len(r.Alts) != c {
+				t.Fatalf("c=%d: got %d alternatives", c, len(r.Alts))
+			}
+		}
+	}
+}
+
+func TestCChoicePanicsWhenTooMany(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CChoice(Config{N: 2, D: 1, Rounds: 1, Rate: 1, Seed: 1}, 3)
+}
+
+func TestMixedDeadlinesSpansRange(t *testing.T) {
+	tr := MixedDeadlines(Config{N: 4, D: 5, Rounds: 60, Rate: 8, Seed: 12})
+	seen := map[int]bool{}
+	for _, r := range tr.Requests() {
+		if r.D < 1 || r.D > 5 {
+			t.Fatalf("window %d out of range", r.D)
+		}
+		seen[r.D] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("only %d distinct windows in a long trace", len(seen))
+	}
+}
+
+func TestBurstyActuallyBursts(t *testing.T) {
+	tr := Bursty(Config{N: 4, D: 2, Rounds: 60, Rate: 1, Seed: 13}, 5, 10, 30)
+	on, off := 0, 0
+	onRounds, offRounds := 0, 0
+	for t0, rs := range tr.Arrivals {
+		if t0%15 < 5 {
+			on += len(rs)
+			onRounds++
+		} else {
+			off += len(rs)
+			offRounds++
+		}
+	}
+	if onRounds == 0 || offRounds == 0 {
+		t.Fatal("phase accounting broken")
+	}
+	if float64(on)/float64(onRounds) < 3*float64(off)/float64(offRounds) {
+		t.Fatalf("burst rate not visible: on=%d/%d off=%d/%d", on, onRounds, off, offRounds)
+	}
+}
+
+func TestShuffleAltsPreservesStructure(t *testing.T) {
+	orig := Uniform(cfg(14))
+	sh := ShuffleAlts(orig, 99)
+	if err := sh.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sh.NumRequests() != orig.NumRequests() {
+		t.Fatal("request count changed")
+	}
+	ro, rs := orig.Requests(), sh.Requests()
+	changed := false
+	for i := range ro {
+		if ro[i].Arrive != rs[i].Arrive || ro[i].D != rs[i].D {
+			t.Fatal("arrival or deadline changed")
+		}
+		// Same multiset of alternatives.
+		a0, a1 := ro[i].Alts[0], ro[i].Alts[1]
+		b0, b1 := rs[i].Alts[0], rs[i].Alts[1]
+		if !((a0 == b0 && a1 == b1) || (a0 == b1 && a1 == b0)) {
+			t.Fatal("alternative multiset changed")
+		}
+		if a0 != b0 {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("shuffle changed nothing across the whole trace")
+	}
+}
+
+func TestShuffleArrivalOrderPreservesRounds(t *testing.T) {
+	orig := Uniform(cfg(15))
+	sh := ShuffleArrivalOrder(orig, 7)
+	if err := sh.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for t0 := range orig.Arrivals {
+		if len(orig.Arrivals[t0]) != len(sh.Arrivals[t0]) {
+			t.Fatalf("round %d count changed", t0)
+		}
+	}
+}
+
+func TestPoissonMeanRoughlyLambda(t *testing.T) {
+	tr := Uniform(Config{N: 4, D: 2, Rounds: 2000, Rate: 5, Seed: 16})
+	mean := float64(tr.NumRequests()) / 2000.0
+	if mean < 4.5 || mean > 5.5 {
+		t.Fatalf("poisson mean %.2f far from 5", mean)
+	}
+}
+
+func TestTrapMixValidAndTrapped(t *testing.T) {
+	tr := TrapMix(Config{N: 8, D: 4, Rounds: 60, Rate: 4, Seed: 30}, 12)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Trap rounds carry the bridge + flood pattern on resources 0..3.
+	sawTrap := false
+	for _, r := range tr.Requests() {
+		if r.Alts[0] == 1 && r.Alts[1] == 2 {
+			sawTrap = true
+		}
+		// Background stays off the trap pair's first positions except traps.
+	}
+	if !sawTrap {
+		t.Fatal("no trap blocks present")
+	}
+}
+
+func TestTrapMixNeedsSixResources(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TrapMix(Config{N: 4, D: 2, Rounds: 5, Rate: 1, Seed: 1}, 2)
+}

@@ -203,6 +203,27 @@ func BenchmarkEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineAllocs tracks the allocation profile of the engine hot path
+// per strategy on the BenchmarkEngine workload. The per-round scratch reuse in
+// core and strategies keeps allocs/op independent of the round count; a
+// regression here means a fresh allocation crept back into the round loop.
+func BenchmarkEngineAllocs(b *testing.B) {
+	tr := reqsched.Uniform(reqsched.WorkloadConfig{
+		N: 16, D: 6, Rounds: 300, Rate: 18, Seed: 11,
+	})
+	for _, name := range []string{
+		"A_fix", "A_current", "A_fix_balance", "A_eager", "A_balance",
+	} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				reqsched.Run(reqsched.StrategyByName(name), tr)
+			}
+		})
+	}
+}
+
 // BenchmarkOptimum measures the offline solver (Hopcroft–Karp over the full
 // request/slot graph).
 func BenchmarkOptimum(b *testing.B) {

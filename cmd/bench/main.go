@@ -1,0 +1,118 @@
+// Command bench records the engine's performance baseline as JSON. It runs
+// the BenchmarkEngine workload (uniform, N=16, D=6, 300 rounds, rate 18,
+// seed 11) through each strategy under testing.Benchmark and emits one entry
+// per strategy with ns/op, allocs/op, bytes/op and derived throughput. The
+// checked-in BENCH_engine.json is the reference the alloc-regression tests in
+// EXPERIMENTS.md compare against:
+//
+//	go run ./cmd/bench -out BENCH_engine.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"reqsched"
+)
+
+// Entry is one strategy's measured baseline.
+type Entry struct {
+	Strategy       string  `json:"strategy"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	RoundsPerSec   float64 `json:"rounds_per_sec"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	Fulfilled      int     `json:"fulfilled"`
+}
+
+// Baseline is the file format of BENCH_engine.json.
+type Baseline struct {
+	Workload struct {
+		N        int     `json:"n"`
+		D        int     `json:"d"`
+		Rounds   int     `json:"rounds"`
+		Rate     float64 `json:"rate"`
+		Seed     int64   `json:"seed"`
+		Requests int     `json:"requests"`
+	} `json:"workload"`
+	Entries []Entry `json:"entries"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	benchtime := flag.Duration("benchtime", 0, "per-strategy benchmark time (default testing's 1s)")
+	flag.Parse()
+	if *benchtime > 0 {
+		// testing.Benchmark honours the -test.benchtime flag.
+		flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ExitOnError)
+		testing.Init()
+		flag.Set("test.benchtime", benchtime.String())
+	}
+
+	cfg := reqsched.WorkloadConfig{N: 16, D: 6, Rounds: 300, Rate: 18, Seed: 11}
+	tr := reqsched.Uniform(cfg)
+
+	var base Baseline
+	base.Workload.N = cfg.N
+	base.Workload.D = cfg.D
+	base.Workload.Rounds = cfg.Rounds
+	base.Workload.Rate = cfg.Rate
+	base.Workload.Seed = cfg.Seed
+	base.Workload.Requests = tr.NumRequests()
+
+	for _, name := range []string{
+		"A_fix", "A_current", "A_fix_balance", "A_eager", "A_balance",
+		"EDF", "first_fit", "A_local_fix", "A_local_eager",
+	} {
+		name := name
+		var fulfilled int
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := reqsched.RunChecked(reqsched.StrategyByName(name), tr)
+				if err != nil {
+					b.Fatalf("run %s: %v", name, err)
+				}
+				fulfilled = res.Fulfilled
+			}
+		})
+		nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		opsPerSec := 0.0
+		if nsPerOp > 0 {
+			opsPerSec = 1e9 / nsPerOp
+		}
+		totalRounds := float64(tr.Horizon())
+		base.Entries = append(base.Entries, Entry{
+			Strategy:       name,
+			NsPerOp:        nsPerOp,
+			AllocsPerOp:    r.AllocsPerOp(),
+			BytesPerOp:     r.AllocedBytesPerOp(),
+			RoundsPerSec:   opsPerSec * totalRounds,
+			RequestsPerSec: opsPerSec * float64(tr.NumRequests()),
+			Fulfilled:      fulfilled,
+		})
+		fmt.Fprintf(os.Stderr, "%-16s %12.0f ns/op %8d allocs/op %10d B/op  served %d\n",
+			name, nsPerOp, r.AllocsPerOp(), r.AllocedBytesPerOp(), fulfilled)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&base); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -55,7 +55,11 @@ func show(args []string) {
 		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *name)
 		os.Exit(2)
 	}
-	res := reqsched.Run(s, tr)
+	res, err := reqsched.RunChecked(s, tr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: invalid trace %s: %v\n", *in, err)
+		os.Exit(1)
+	}
 	fmt.Print(reqsched.RenderGrid(tr, res.Log, *from, *to))
 	if *losses {
 		fmt.Println()
@@ -179,7 +183,11 @@ func run(args []string) {
 		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *name)
 		os.Exit(2)
 	}
-	res := reqsched.Run(s, tr)
+	res, err := reqsched.RunChecked(s, tr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: invalid trace %s: %v\n", *in, err)
+		os.Exit(1)
+	}
 	opt := reqsched.Optimum(tr)
 	fmt.Printf("%s: served %d / %d, expired %d, OPT %d, ratio %.4f, mean latency %.2f\n",
 		res.Strategy, res.Fulfilled, tr.NumRequests(), res.Expired, opt,

@@ -44,7 +44,12 @@ func RunAdaptive(s Strategy, src AdaptiveSource) (*Result, *Trace) {
 	served := make(map[int]bool)
 	isServed := func(id int) bool { return served[id] }
 
-	var pending []*Request
+	var (
+		pending  []*Request
+		arrivals []*Request // reused across rounds; see RoundContext.Arrivals
+		ctx      RoundContext
+	)
+	servedNow := make(map[int]bool, n)
 	nextID := 0
 	injectionOver := false
 	drainUntil := 0
@@ -62,7 +67,7 @@ func RunAdaptive(s Strategy, src AdaptiveSource) (*Result, *Trace) {
 		pending = live
 
 		// Inject.
-		var arrivals []*Request
+		arrivals = arrivals[:0]
 		if !injectionOver {
 			if src.Done(t) {
 				injectionOver = true
@@ -89,16 +94,17 @@ func RunAdaptive(s Strategy, src AdaptiveSource) (*Result, *Trace) {
 		}
 
 		pending = append(pending, arrivals...)
-		s.Round(&RoundContext{
+		ctx = RoundContext{
 			T:        t,
 			N:        n,
 			D:        d,
 			Arrivals: arrivals,
 			Pending:  pending,
 			W:        w,
-		})
+		}
+		s.Round(&ctx)
 
-		servedNow := make(map[int]bool)
+		clear(servedNow)
 		for i := 0; i < n; i++ {
 			r := w.At(i, t)
 			if r == nil {

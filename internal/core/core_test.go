@@ -375,3 +375,34 @@ func TestRunWithSeriesMatchesRun(t *testing.T) {
 		t.Fatalf("pending %d after horizon", last.Pending)
 	}
 }
+
+func TestRunCheckedRejectsInvalidTrace(t *testing.T) {
+	// A trace naming a resource outside [0, N) — the shape a hand-edited
+	// trace file takes after deserialization — must come back as an error
+	// naming the offending request, not a panic.
+	tr := &Trace{N: 2, D: 2, Arrivals: [][]Request{
+		{{ID: 0, Arrive: 0, D: 2, Alts: []int{5}}},
+	}}
+	res, err := RunChecked(greedyFirstFit{}, tr)
+	if err == nil {
+		t.Fatal("RunChecked accepted an invalid trace")
+	}
+	if res != nil {
+		t.Fatalf("RunChecked returned a result alongside the error: %+v", res)
+	}
+	if !strings.Contains(err.Error(), "resource 5") {
+		t.Fatalf("error %q does not name the offending resource", err)
+	}
+}
+
+func TestRunCheckedMatchesRun(t *testing.T) {
+	tr := twoReqTrace()
+	direct := Run(greedyFirstFit{}, tr)
+	checked, err := RunChecked(greedyFirstFit{}, tr)
+	if err != nil {
+		t.Fatalf("RunChecked on a valid trace: %v", err)
+	}
+	if checked.Fulfilled != direct.Fulfilled || checked.Expired != direct.Expired {
+		t.Fatalf("checked run diverged: %+v vs %+v", checked, direct)
+	}
+}

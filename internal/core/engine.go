@@ -26,10 +26,13 @@ type RoundContext struct {
 	T int
 	// N is the number of resources; D the default window length.
 	N, D int
-	// Arrivals are the requests injected this round, in ID order.
+	// Arrivals are the requests injected this round, in ID order. The slice
+	// is engine scratch reused between rounds: strategies may retain the
+	// *Request pointers but must not retain the slice itself past Round.
 	Arrivals []*Request
 	// Pending are all live requests (arrived, unfulfilled, deadline not yet
 	// passed), including Arrivals, in ID order. Some may hold future slots.
+	// Like Arrivals, the slice is only valid during the Round call.
 	Pending []*Request
 	// W is the schedule window, positioned at round T.
 	W *Window
@@ -95,10 +98,15 @@ type CommAccountant interface {
 	CommTotals() (rounds, messages int)
 }
 
-// run is the engine body shared by Run and RunWithSeries; series may be nil.
-func run(s Strategy, tr *Trace, series *Series) *Result {
+// run is the engine body shared by Run, RunChecked and RunWithSeries; series
+// may be nil. It returns an error (rather than panicking) when the trace is
+// invalid, so CLI tools fed hand-edited inputs can report it gracefully. All
+// per-round scratch — the served set, the arrivals buffer, the round context
+// — is allocated once and reused, so a simulation's allocation cost is
+// dominated by the strategy, not the engine.
+func run(s Strategy, tr *Trace, series *Series) (*Result, error) {
 	if err := tr.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	depth := tr.MaxD()
 	w := NewWindow(tr.N, depth)
@@ -110,10 +118,16 @@ func run(s Strategy, tr *Trace, series *Series) *Result {
 		D:           tr.D,
 		Requests:    tr.NumRequests(),
 		PerResource: make([]int, tr.N),
+		Log:         make([]Fulfillment, 0, tr.NumRequests()),
 	}
 
 	horizon := tr.Horizon()
-	var pending []*Request
+	var (
+		pending  []*Request
+		arrivals []*Request // reused across rounds; see RoundContext.Arrivals
+		ctx      RoundContext
+	)
+	served := make(map[int]bool, tr.N)
 	for t := 0; t < horizon; t++ {
 		var rs RoundStats
 		rs.T = t
@@ -132,30 +146,30 @@ func run(s Strategy, tr *Trace, series *Series) *Result {
 		pending = live
 
 		// 2. Receive new requests.
-		var arrivals []*Request
+		arrivals = arrivals[:0]
 		if t < len(tr.Arrivals) {
-			rs := tr.Arrivals[t]
-			arrivals = make([]*Request, len(rs))
-			for i := range rs {
-				arrivals[i] = &rs[i]
+			row := tr.Arrivals[t]
+			for i := range row {
+				arrivals = append(arrivals, &row[i])
 			}
 		}
 		pending = append(pending, arrivals...)
 
 		// 3. Let the strategy (re)compute the schedule.
-		s.Round(&RoundContext{
+		ctx = RoundContext{
 			T:        t,
 			N:        tr.N,
 			D:        tr.D,
 			Arrivals: arrivals,
 			Pending:  pending,
 			W:        w,
-		})
+		}
+		s.Round(&ctx)
 
 		rs.Arrived = len(arrivals)
 
 		// 4. Serve the current row.
-		served := make(map[int]bool)
+		clear(served)
 		for i := 0; i < tr.N; i++ {
 			r := w.At(i, t)
 			if r == nil {
@@ -195,14 +209,14 @@ func run(s Strategy, tr *Trace, series *Series) *Result {
 		w.advance()
 	}
 	res.Expired += len(pending)
-	for _, a := range w.Snapshot() {
-		panic(fmt.Sprintf("core: assignment %v survived past horizon", a))
+	if w.NumAssigned() > 0 {
+		panic(fmt.Sprintf("core: assignments %v survived past horizon", w.Snapshot()))
 	}
 
 	if ca, ok := s.(CommAccountant); ok {
 		res.CommRounds, res.Messages = ca.CommTotals()
 	}
-	return res
+	return res, nil
 }
 
 // ValidateLog checks that a fulfillment log is a feasible schedule for the

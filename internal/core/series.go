@@ -46,13 +46,28 @@ func (s *Series) TotalIdle() int {
 // only); tests assert both entry points produce identical schedules.
 func RunWithSeries(s Strategy, tr *Trace) (*Result, *Series) {
 	series := &Series{}
-	res := run(s, tr, series)
+	res, err := run(s, tr, series)
+	if err != nil {
+		panic(err)
+	}
 	return res, series
 }
 
 // Run simulates strategy s over trace tr and returns the result. The trace
 // must be valid; Run panics on an invalid trace since that is a programming
-// error in a generator, not an input condition.
+// error in a generator, not an input condition. Input boundaries (CLI tools
+// replaying serialized traces) should use RunChecked instead.
 func Run(s Strategy, tr *Trace) *Result {
+	res, err := run(s, tr, nil)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunChecked is Run for untrusted traces: instead of panicking on an invalid
+// trace it returns the validation error, which names the first offending
+// request. The simulation itself is identical to Run.
+func RunChecked(s Strategy, tr *Trace) (*Result, error) {
 	return run(s, tr, nil)
 }

@@ -112,28 +112,38 @@ func (w *Window) Unassign(r *Request) {
 // Snapshot returns all current assignments. The order is deterministic:
 // ascending (round, resource).
 func (w *Window) Snapshot() []Assignment {
-	out := make([]Assignment, 0, len(w.where))
+	return w.AppendAssignments(make([]Assignment, 0, len(w.where)))
+}
+
+// AppendAssignments appends all current assignments to dst and returns the
+// extended slice, in the same deterministic ascending (round, resource) order
+// as Snapshot. Callers that snapshot every round pass a reused buffer
+// (dst[:0]) to avoid the per-round allocation.
+func (w *Window) AppendAssignments(dst []Assignment) []Assignment {
 	for round := w.t; round < w.t+w.depth; round++ {
 		row := w.rows[round%w.depth]
 		for res, r := range row {
 			if r != nil {
-				out = append(out, Assignment{Req: r, Res: res, Round: round})
+				dst = append(dst, Assignment{Req: r, Res: res, Round: round})
 			}
 		}
 	}
-	return out
+	return dst
 }
 
-// Reset clears every assignment in the window. Strategies that recompute
-// their matching from scratch each round (A_eager, A_balance) snapshot, reset
-// and re-apply.
+// NumAssigned returns the number of requests currently holding a slot.
+func (w *Window) NumAssigned() int { return len(w.where) }
+
+// Reset clears every assignment in the window, keeping the allocated storage.
+// Strategies that recompute their matching from scratch each round (A_eager,
+// A_balance) snapshot, reset and re-apply.
 func (w *Window) Reset() {
 	for _, row := range w.rows {
 		for i := range row {
 			row[i] = nil
 		}
 	}
-	w.where = make(map[int]slotRef)
+	clear(w.where)
 }
 
 // FreeSlotsFor returns the free slots request r could take right now, in

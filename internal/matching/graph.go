@@ -18,13 +18,19 @@ const None int32 = -1
 
 // Graph is a bipartite graph with nLeft left vertices and nRight right
 // vertices. Edges are stored as left-side adjacency lists in insertion order.
-// A right-side adjacency view is built lazily on first use.
+// A right-side adjacency view is built lazily on first use, in flat (CSR)
+// storage so rebuilding it after a Reset reuses the same backing arrays.
 type Graph struct {
 	nLeft  int
 	nRight int
 	adj    [][]int32
-	radj   [][]int32 // lazily built reverse adjacency
 	edges  int
+	// Lazily built reverse adjacency in CSR layout: the left neighbors of
+	// right vertex r are rdata[rstart[r]:rstart[r+1]]. Invalidated (not
+	// freed) by AddEdge and Reset.
+	rstart    []int32
+	rdata     []int32
+	radjValid bool
 }
 
 // NewGraph returns an empty bipartite graph with the given side sizes.
@@ -34,6 +40,24 @@ func NewGraph(nLeft, nRight int) *Graph {
 		nRight: nRight,
 		adj:    make([][]int32, nLeft),
 	}
+}
+
+// Reset re-dimensions g to the given side sizes and removes every edge while
+// keeping the allocated adjacency storage, so a graph that is rebuilt every
+// round reaches a steady state with no per-round allocation.
+func (g *Graph) Reset(nLeft, nRight int) {
+	if nLeft <= cap(g.adj) {
+		g.adj = g.adj[:nLeft]
+	} else {
+		g.adj = append(g.adj[:cap(g.adj)], make([][]int32, nLeft-cap(g.adj))...)
+	}
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+	g.nLeft = nLeft
+	g.nRight = nRight
+	g.edges = 0
+	g.radjValid = false
 }
 
 // NLeft returns the number of left vertices.
@@ -53,7 +77,7 @@ func (g *Graph) AddEdge(l, r int) {
 		panic(fmt.Sprintf("matching: edge (%d,%d) out of range %dx%d", l, r, g.nLeft, g.nRight))
 	}
 	g.adj[l] = append(g.adj[l], int32(r))
-	g.radj = nil
+	g.radjValid = false
 	g.edges++
 }
 
@@ -62,31 +86,53 @@ func (g *Graph) AddEdge(l, r int) {
 func (g *Graph) Adj(l int) []int32 { return g.adj[l] }
 
 // RAdj returns the left neighbors of right vertex r, building the reverse
-// adjacency on first use. The returned slice must not be modified.
+// adjacency on first use. The returned slice must not be modified, and is
+// invalidated by the next AddEdge or Reset.
 func (g *Graph) RAdj(r int) []int32 {
-	if g.radj == nil {
+	if !g.radjValid {
 		g.buildRight()
 	}
-	return g.radj[r]
+	return g.rdata[g.rstart[r]:g.rstart[r+1]]
 }
 
+// buildRight fills the CSR reverse adjacency with a counting pass, reusing
+// the backing arrays of any previous build. Left neighbors end up in
+// ascending order (the insertion order of the forward lists).
 func (g *Graph) buildRight() {
-	radj := make([][]int32, g.nRight)
-	deg := make([]int32, g.nRight)
+	if need := g.nRight + 1; cap(g.rstart) >= need {
+		g.rstart = g.rstart[:need]
+		for i := range g.rstart {
+			g.rstart[i] = 0
+		}
+	} else {
+		g.rstart = make([]int32, need)
+	}
+	if cap(g.rdata) >= g.edges {
+		g.rdata = g.rdata[:g.edges]
+	} else {
+		g.rdata = make([]int32, g.edges)
+	}
 	for _, rs := range g.adj {
 		for _, r := range rs {
-			deg[r]++
+			g.rstart[r+1]++
 		}
 	}
-	for r := range radj {
-		radj[r] = make([]int32, 0, deg[r])
+	for r := 0; r < g.nRight; r++ {
+		g.rstart[r+1] += g.rstart[r]
 	}
+	// fill maintains the running write cursor per right vertex; shift rstart
+	// back afterwards instead of keeping a second cursor array.
 	for l, rs := range g.adj {
 		for _, r := range rs {
-			radj[r] = append(radj[r], int32(l))
+			g.rdata[g.rstart[r]] = int32(l)
+			g.rstart[r]++
 		}
 	}
-	g.radj = radj
+	for r := g.nRight; r > 0; r-- {
+		g.rstart[r] = g.rstart[r-1]
+	}
+	g.rstart[0] = 0
+	g.radjValid = true
 }
 
 // Matching is a matching in a bipartite Graph, stored as mutual pointers.
@@ -111,6 +157,26 @@ func NewMatching(nLeft, nRight int) *Matching {
 		m.R2L[i] = None
 	}
 	return m
+}
+
+// Reset re-dimensions m for a graph with the given side sizes and unmatches
+// everything, reusing the allocated pointer arrays when large enough.
+func (m *Matching) Reset(nLeft, nRight int) {
+	m.L2R = resetNone(m.L2R, nLeft)
+	m.R2L = resetNone(m.R2L, nRight)
+}
+
+// resetNone returns s re-sliced (or grown) to length n with every entry None.
+func resetNone(s []int32, n int) []int32 {
+	if n <= cap(s) {
+		s = s[:n]
+	} else {
+		s = make([]int32, n)
+	}
+	for i := range s {
+		s[i] = None
+	}
+	return s
 }
 
 // Size returns the number of matched pairs.

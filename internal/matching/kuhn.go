@@ -52,22 +52,43 @@ func ExtendFromRight(g *Graph, m *Matching, order []int) int {
 }
 
 // augmenter holds the scratch state for repeated augmenting-path searches so
-// that visited marks are cleared in O(1) between searches (stamping).
+// that visited marks are cleared in O(1) between searches (stamping). An
+// augmenter can be rebound to successive graphs via bind, which reuses the
+// mark storage: stamps only ever increase, so marks left over from an earlier
+// graph can never read as visited.
 type augmenter struct {
-	g       *Graph
-	stamp   int
-	seenL   []int // stamp when left vertex was visited
-	seenR   []int // stamp when right vertex was visited
-	stackL  []int32
-	stackIt []int
+	g     *Graph
+	stamp int
+	seenL []int // stamp when left vertex was visited
+	seenR []int // stamp when right vertex was visited
 }
 
 func newAugmenter(g *Graph) *augmenter {
-	return &augmenter{
-		g:     g,
-		seenL: make([]int, g.NLeft()),
-		seenR: make([]int, g.NRight()),
+	a := &augmenter{}
+	a.bind(g)
+	return a
+}
+
+// bind points the augmenter at g, growing the mark arrays as needed.
+func (a *augmenter) bind(g *Graph) {
+	a.g = g
+	a.seenL = ensureLen(a.seenL, g.NLeft())
+	a.seenR = ensureLen(a.seenR, g.NRight())
+}
+
+// ensureLen returns s with length at least n, reusing capacity when possible.
+// Retained contents beyond the previous length are stale stamps from earlier
+// searches, which are always smaller than the current stamp.
+func ensureLen(s []int, n int) []int {
+	if n <= len(s) {
+		return s
 	}
+	if n <= cap(s) {
+		return s[:n]
+	}
+	ns := make([]int, n)
+	copy(ns, s)
+	return ns
 }
 
 // augmentFromLeft searches for an augmenting path starting at free left vertex

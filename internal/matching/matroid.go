@@ -32,16 +32,27 @@ func LexMax(g *Graph, classOf []int32) *Matching {
 // among matchings whose matched-right set contains m's matched-right set.
 // It returns the number of augmentations performed.
 func LexMaxExtend(g *Graph, m *Matching, classOf []int32) int {
+	checkClassLen(g, classOf)
+	order := rightsByClass(classOf)
+	return ExtendFromRight(g, m, order)
+}
+
+func checkClassLen(g *Graph, classOf []int32) {
 	if len(classOf) != g.NRight() {
 		panic(fmt.Sprintf("matching: classOf length %d != nRight %d", len(classOf), g.NRight()))
 	}
-	order := rightsByClass(classOf)
-	return ExtendFromRight(g, m, order)
 }
 
 // rightsByClass returns right vertex indices sorted by (class, index)
 // ascending using a counting sort, preserving index order within a class.
 func rightsByClass(classOf []int32) []int {
+	order, _ := rightsByClassInto(nil, nil, classOf)
+	return order
+}
+
+// rightsByClassInto is rightsByClass writing into the given buffers (grown as
+// needed and returned for reuse).
+func rightsByClassInto(order []int, count []int, classOf []int32) ([]int, []int) {
 	maxC := int32(0)
 	for _, c := range classOf {
 		if c < 0 {
@@ -51,19 +62,30 @@ func rightsByClass(classOf []int32) []int {
 			maxC = c
 		}
 	}
-	count := make([]int, maxC+2)
+	if need := int(maxC) + 2; cap(count) >= need {
+		count = count[:need]
+		for i := range count {
+			count[i] = 0
+		}
+	} else {
+		count = make([]int, need)
+	}
 	for _, c := range classOf {
 		count[c+1]++
 	}
 	for i := 1; i < len(count); i++ {
 		count[i] += count[i-1]
 	}
-	order := make([]int, len(classOf))
+	if cap(order) >= len(classOf) {
+		order = order[:len(classOf)]
+	} else {
+		order = make([]int, len(classOf))
+	}
 	for r, c := range classOf {
 		order[count[c]] = r
 		count[c]++
 	}
-	return order
+	return order, count
 }
 
 // CoverLeft transforms the maximum matching m so that every left vertex

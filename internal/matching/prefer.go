@@ -27,6 +27,12 @@ func PreferLowAtClass(g *Graph, m *Matching, classOf []int32, class int32) int {
 		seenL:   make([]bool, g.NLeft()),
 		seenR:   make([]bool, g.NRight()),
 	}
+	return preferLowAtClass(g, m, classOf, class, a)
+}
+
+// preferLowAtClass is the exchange loop shared by PreferLowAtClass and
+// Scratch.PreferLowAtClass; a carries the (possibly reused) search marks.
+func preferLowAtClass(g *Graph, m *Matching, classOf []int32, class int32, a *avoidDFS) int {
 	swaps := 0
 	for l := 0; l < g.NLeft(); l++ {
 		cur := m.L2R[l]

@@ -1,7 +1,10 @@
 package ratio
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"reqsched/internal/adversary"
@@ -21,12 +24,51 @@ type Job struct {
 	Strategy func() core.Strategy
 }
 
+// JobPanic reports that one job of a parallel sweep panicked. The job's name
+// and index attribute the failure; Value is the recovered panic value and
+// Stack the goroutine stack captured at recovery. Sibling jobs are
+// unaffected: they run to completion before the error is surfaced.
+type JobPanic struct {
+	Name  string
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *JobPanic) Error() string {
+	return fmt.Sprintf("ratio: job %d (%s) panicked: %v", e.Index, e.name(), e.Value)
+}
+
+func (e *JobPanic) name() string {
+	if e.Name == "" {
+		return "unnamed"
+	}
+	return e.Name
+}
+
 // RunParallel executes the jobs on up to `workers` goroutines (GOMAXPROCS if
 // workers <= 0) and returns the measurements in job order. Each job runs a
 // full simulation plus a Hopcroft–Karp optimum, so the work units are coarse
 // and the speedup is near-linear; the Table 1 harness and the sweep tool use
 // it to regenerate the whole evaluation in one pass.
+//
+// A job that panics does not take the sweep down anonymously: the panic is
+// recovered per job, siblings finish, and RunParallel re-panics with a
+// *JobPanic naming the offending job. Callers that prefer an error use
+// RunParallelChecked.
 func RunParallel(jobs []Job, workers int) []Measurement {
+	out, err := RunParallelChecked(jobs, workers)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// RunParallelChecked is RunParallel returning job panics as an error instead
+// of re-panicking. The measurements of the jobs that completed are returned
+// in job order either way (failed jobs leave their zero value); the error
+// joins one *JobPanic per failed job, in job order.
+func RunParallelChecked(jobs []Job, workers int) ([]Measurement, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -35,8 +77,9 @@ func RunParallel(jobs []Job, workers int) []Measurement {
 	}
 	out := make([]Measurement, len(jobs))
 	if len(jobs) == 0 {
-		return out
+		return out, nil
 	}
+	errs := make([]error, len(jobs))
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -44,12 +87,7 @@ func RunParallel(jobs []Job, workers int) []Measurement {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				job := jobs[i]
-				m := MeasureConstruction(job.Build(), job.Strategy())
-				if job.Name != "" {
-					m.Input = job.Name
-				}
-				out[i] = m
+				out[i], errs[i] = runJob(jobs[i], i)
 			}
 		}()
 	}
@@ -58,5 +96,20 @@ func RunParallel(jobs []Job, workers int) []Measurement {
 	}
 	close(next)
 	wg.Wait()
-	return out
+	return out, errors.Join(errs...)
+}
+
+// runJob measures one job, converting a panic anywhere in the construction
+// build, the simulation, or the optimum into an attributed *JobPanic.
+func runJob(job Job, index int) (m Measurement, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &JobPanic{Name: job.Name, Index: index, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	m = MeasureConstruction(job.Build(), job.Strategy())
+	if job.Name != "" {
+		m.Input = job.Name
+	}
+	return m, nil
 }

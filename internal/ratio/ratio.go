@@ -40,9 +40,25 @@ func (m Measurement) String() string {
 		m.Strategy, m.Input, m.N, m.D, m.OPT, m.ALG, m.Ratio(), m.Bound)
 }
 
-// Measure runs s over tr and compares with the offline optimum.
+// Measure runs s over tr and compares with the offline optimum. The trace
+// must be valid; Measure panics otherwise. Input boundaries (CLI tools fed
+// serialized traces) should use MeasureChecked.
 func Measure(s core.Strategy, tr *core.Trace) Measurement {
-	res := core.Run(s, tr)
+	m, err := MeasureChecked(s, tr)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// MeasureChecked is Measure for untrusted traces: instead of panicking on an
+// invalid trace it returns the validation error, which names the first
+// offending request.
+func MeasureChecked(s core.Strategy, tr *core.Trace) (Measurement, error) {
+	res, err := core.RunChecked(s, tr)
+	if err != nil {
+		return Measurement{}, err
+	}
 	return Measurement{
 		Strategy: s.Name(),
 		Input:    "trace",
@@ -50,7 +66,7 @@ func Measure(s core.Strategy, tr *core.Trace) Measurement {
 		D:        tr.D,
 		OPT:      offline.Optimum(tr),
 		ALG:      res.Fulfilled,
-	}
+	}, nil
 }
 
 // MeasureAdaptive runs s against an adaptive source, then computes the

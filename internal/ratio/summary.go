@@ -18,12 +18,18 @@ type Summary struct {
 	Ratio    stats.Acc
 	Served   stats.Acc
 	Expired  stats.Acc
+	// Starved counts seeds where the strategy fulfilled nothing although the
+	// offline optimum was positive. Such runs have an infinite empirical
+	// ratio and cannot be folded into the mean, so they are counted
+	// explicitly instead of being silently skipped (which would bias the
+	// mean optimistically).
+	Starved int
 }
 
 func (s *Summary) String() string {
-	return fmt.Sprintf("%s over %d seeds: ratio %.4f±%.4f (max %.4f), served %.1f±%.1f",
+	return fmt.Sprintf("%s over %d seeds: ratio %.4f±%.4f (max %.4f), served %.1f±%.1f, starved %d",
 		s.Strategy, s.Seeds, s.Ratio.Mean(), s.Ratio.Std(), s.Ratio.Max(),
-		s.Served.Mean(), s.Served.Std())
+		s.Served.Mean(), s.Served.Std(), s.Starved)
 }
 
 // Summarize measures mk() against the traces produced by gen(seed) for seeds
@@ -43,6 +49,10 @@ func Summarize(mk func() core.Strategy, gen func(seed int64) *core.Trace, seeds 
 			sum.Ratio.Add(float64(opt) / float64(res.Fulfilled))
 		} else if opt == 0 {
 			sum.Ratio.Add(1)
+		} else {
+			// Infinite ratio: the strategy starved while OPT served opt
+			// requests. Excluded from the mean, surfaced in Starved.
+			sum.Starved++
 		}
 		sum.Served.Add(float64(res.Fulfilled))
 		sum.Expired.Add(float64(res.Expired))

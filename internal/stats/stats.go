@@ -10,22 +10,22 @@ import (
 
 // Acc is a streaming accumulator for mean / variance / extrema.
 type Acc struct {
-	n          int
-	mean, m2   float64
-	min, max   float64
-	initalized bool
+	n           int
+	mean, m2    float64
+	min, max    float64
+	initialized bool
 }
 
 // Add folds a value into the accumulator (Welford's algorithm).
 func (a *Acc) Add(x float64) {
 	a.n++
-	if !a.initalized || x < a.min {
+	if !a.initialized || x < a.min {
 		a.min = x
 	}
-	if !a.initalized || x > a.max {
+	if !a.initialized || x > a.max {
 		a.max = x
 	}
-	a.initalized = true
+	a.initialized = true
 	delta := x - a.mean
 	a.mean += delta / float64(a.n)
 	a.m2 += delta * (x - a.mean)
@@ -67,7 +67,12 @@ type Histogram struct {
 }
 
 // NewHistogram returns a histogram with the given number of unit buckets.
+// A size below 1 is clamped to a single bucket, so Add can never index an
+// empty bucket array.
 func NewHistogram(size int) *Histogram {
+	if size < 1 {
+		size = 1
+	}
 	return &Histogram{buckets: make([]int, size)}
 }
 

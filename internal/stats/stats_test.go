@@ -92,3 +92,34 @@ func TestRatio(t *testing.T) {
 		t.Fatal("ratio formatting")
 	}
 }
+
+func TestHistogramZeroSize(t *testing.T) {
+	// A size below 1 clamps to a single bucket: Add must not panic and every
+	// sample lands in bucket 0.
+	for _, size := range []int{0, -3} {
+		h := NewHistogram(size)
+		h.Add(0)
+		h.Add(7)
+		h.Add(-1)
+		if h.Total() != 3 || h.Count(0) != 3 {
+			t.Fatalf("size %d: total %d, bucket 0 %d", size, h.Total(), h.Count(0))
+		}
+		if h.Quantile(1.0) != 0 {
+			t.Fatalf("size %d: quantile %d", size, h.Quantile(1.0))
+		}
+	}
+}
+
+func TestAccExtremaAfterFirstSample(t *testing.T) {
+	// The first sample initializes both extrema even when it is above zero
+	// (min) or below zero (max).
+	var a Acc
+	a.Add(5)
+	if a.Min() != 5 || a.Max() != 5 {
+		t.Fatalf("extrema after first sample: min %f max %f", a.Min(), a.Max())
+	}
+	a.Add(-2)
+	if a.Min() != -2 || a.Max() != 5 {
+		t.Fatalf("extrema after second sample: min %f max %f", a.Min(), a.Max())
+	}
+}

@@ -7,7 +7,9 @@ import "reqsched/internal/core"
 // round only — no forward planning at all. Pending requests keep competing
 // every round until served or expired. Competitive ratio between e/(e-1)
 // (as d grows, Theorem 2.2) and 2 - 1/d (Theorem 3.3).
-type Current struct{}
+type Current struct {
+	sc roundScratch
+}
 
 // NewCurrent returns the A_current strategy.
 func NewCurrent() *Current { return &Current{} }
@@ -19,32 +21,33 @@ func (*Current) Name() string { return "A_current" }
 func (*Current) Begin(n, d int) {}
 
 // Round implements core.Strategy.
-func (*Current) Round(ctx *core.RoundContext) {
+func (s *Current) Round(ctx *core.RoundContext) {
 	// A_current never pre-assigns, so every pending request is unassigned.
 	reqs := ctx.Pending
-	wg := buildCurrentRoundGraph(ctx.W, reqs)
-	m := newEmptyMatching(wg)
-	order := make([]int, len(reqs))
-	for i := range order {
-		order[i] = i
-	}
+	wg := buildCurrentRoundGraph(&s.sc, ctx.W, reqs)
+	m := s.sc.emptyMatching()
+	order := s.sc.identOrder(len(reqs))
 	// Maximum matching with requests considered in ID order: older requests
 	// (lower IDs) are matched first — the implementation the Theorem 2.2
 	// adversary steers group by group.
-	extendFromLeft(wg, m, order)
+	s.sc.ms.ExtendFromLeft(wg.g, m, order)
 	wg.apply(ctx.W, m)
 }
 
 // buildCurrentRoundGraph restricts the window graph to the current round's n
 // slots: request li is adjacent to slot (alt, t) for each listed alternative.
-func buildCurrentRoundGraph(w *core.Window, reqs []*core.Request) *winGraph {
-	wg := &winGraph{
-		reqs:  reqs,
-		n:     w.N(),
-		t:     w.Round(),
-		depth: w.Depth(),
+// The graph is the scratch-owned one, reused across rounds.
+func buildCurrentRoundGraph(sc *roundScratch, w *core.Window, reqs []*core.Request) *winGraph {
+	wg := &sc.wg
+	wg.reqs = reqs
+	wg.n = w.N()
+	wg.t = w.Round()
+	wg.depth = w.Depth()
+	if wg.g == nil {
+		wg.g = newCurrentGraph(len(reqs), wg.depth*wg.n)
+	} else {
+		wg.g.Reset(len(reqs), wg.depth*wg.n)
 	}
-	wg.g = newCurrentGraph(len(reqs), wg.depth*wg.n)
 	for li, r := range reqs {
 		for _, a := range r.Alts {
 			if w.Free(a, wg.t) {

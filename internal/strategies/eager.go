@@ -17,7 +17,9 @@ import (
 // then restore coverage of previously scheduled requests via the constructive
 // Mendelsohn–Dulmage merge, which keeps the matched slot set (and hence both
 // optimality properties) intact.
-type Eager struct{}
+type Eager struct {
+	sc roundScratch
+}
 
 // NewEager returns the A_eager strategy.
 func NewEager() *Eager { return &Eager{} }
@@ -29,8 +31,8 @@ func (*Eager) Name() string { return "A_eager" }
 func (*Eager) Begin(n, d int) {}
 
 // Round implements core.Strategy.
-func (*Eager) Round(ctx *core.RoundContext) {
-	rescheduleRound(ctx, 2)
+func (s *Eager) Round(ctx *core.RoundContext) {
+	rescheduleRound(ctx, 2, &s.sc)
 }
 
 // Balance implements A_balance: like A_eager it recomputes over the whole
@@ -39,7 +41,9 @@ func (*Eager) Round(ctx *core.RoundContext) {
 // rounds lexicographically from the current one outward. The paper's best
 // simple strategy: ratio between (5d+2)/(4d+1) and 6(d-1)/(4d-3)
 // (Theorems 2.5 and 3.6).
-type Balance struct{}
+type Balance struct {
+	sc roundScratch
+}
 
 // NewBalance returns the A_balance strategy.
 func NewBalance() *Balance { return &Balance{} }
@@ -51,31 +55,34 @@ func (*Balance) Name() string { return "A_balance" }
 func (*Balance) Begin(n, d int) {}
 
 // Round implements core.Strategy.
-func (*Balance) Round(ctx *core.RoundContext) {
-	rescheduleRound(ctx, 0)
+func (s *Balance) Round(ctx *core.RoundContext) {
+	rescheduleRound(ctx, 0, &s.sc)
 }
 
 // rescheduleRound is the shared A_eager / A_balance round body. maxClasses
 // caps the slot weight classes: 2 for A_eager (current round vs later), 0 for
 // A_balance (0 means "one class per window round": full lexicographic F).
-func rescheduleRound(ctx *core.RoundContext, maxClasses int) {
+// All graph, matching and snapshot storage comes from sc and is reused
+// across rounds.
+func rescheduleRound(ctx *core.RoundContext, maxClasses int, sc *roundScratch) {
 	reqs := ctx.Pending
-	snapshot := ctx.W.Snapshot()
+	sc.snap = ctx.W.AppendAssignments(sc.snap[:0])
 	ctx.W.Reset()
-	wg := buildGraph(ctx.W, reqs, false)
+	wg := sc.buildGraph(ctx.W, reqs, false)
 	if maxClasses <= 0 {
 		maxClasses = wg.depth
 	}
-	classOf := wg.roundClasses(maxClasses)
-	m := lexMax(wg, classOf)
-	if len(snapshot) > 0 {
-		cover := wg.coverMatching(snapshot)
+	classOf := sc.roundClasses(maxClasses)
+	m := sc.emptyMatching()
+	sc.ms.LexMaxExtend(wg.g, m, classOf)
+	if len(sc.snap) > 0 {
+		cover := sc.coverMatching(sc.snap)
 		matching.CoverLeft(wg.g, m, cover)
 	}
 	// Among the admissible matchings, serve the oldest pending requests in
 	// the current round — the member of the strategy class the lower-bound
 	// proofs (Theorems 2.4, 2.5) describe. The exchange preserves
 	// cardinality, the per-class slot counts, and scheduled requests.
-	matching.PreferLowAtClass(wg.g, m, classOf, 0)
+	sc.ms.PreferLowAtClass(wg.g, m, classOf, 0)
 	wg.apply(ctx.W, m)
 }

@@ -2,7 +2,6 @@ package strategies
 
 import (
 	"reqsched/internal/core"
-	"reqsched/internal/matching"
 )
 
 // Fix implements A_fix: every round, the previously computed assignments are
@@ -10,7 +9,9 @@ import (
 // requests injected this round is matched into the remaining free slots,
 // yielding a maximal matching on G_t. Competitive ratio exactly 2 - 1/d
 // (Theorems 2.1 and 3.3).
-type Fix struct{}
+type Fix struct {
+	sc roundScratch
+}
 
 // NewFix returns the A_fix strategy.
 func NewFix() *Fix { return &Fix{} }
@@ -22,30 +23,26 @@ func (*Fix) Name() string { return "A_fix" }
 func (*Fix) Begin(n, d int) {}
 
 // Round implements core.Strategy.
-func (*Fix) Round(ctx *core.RoundContext) {
+func (s *Fix) Round(ctx *core.RoundContext) {
 	// Candidates: this round's arrivals first (their count is maximized),
 	// then any older unassigned requests (for maximality of the matching on
 	// G_t; with no rescheduling their slots can normally never free up, but
 	// the rule costs nothing and keeps the matching maximal by construction).
-	unassigned := ctx.Unassigned()
-	reqs := make([]*core.Request, 0, len(unassigned))
-	reqs = append(reqs, ctx.Arrivals...)
-	for _, r := range unassigned {
-		if r.Arrive < ctx.T {
+	reqs := append(s.sc.reqs[:0], ctx.Arrivals...)
+	for _, r := range ctx.Pending {
+		if r.Arrive < ctx.T && !ctx.W.Assigned(r) {
 			reqs = append(reqs, r)
 		}
 	}
-	wg := buildGraph(ctx.W, reqs, true)
-	m := newEmptyMatching(wg)
-	order := make([]int, len(reqs))
-	for i := range order {
-		order[i] = i
-	}
+	s.sc.reqs = reqs
+	wg := s.sc.buildGraph(ctx.W, reqs, true)
+	m := s.sc.emptyMatching()
+	order := s.sc.identOrder(len(reqs))
 	// Augmenting in ID order with first-listed-alternative preference: the
 	// deterministic member of the A_fix class. Arrivals come first in reqs,
 	// so their matching is maximum before older requests are considered.
-	extendFromLeft(wg, m, order[:len(ctx.Arrivals)])
-	extendFromLeft(wg, m, order[len(ctx.Arrivals):])
+	s.sc.ms.ExtendFromLeft(wg.g, m, order[:len(ctx.Arrivals)])
+	s.sc.ms.ExtendFromLeft(wg.g, m, order[len(ctx.Arrivals):])
 	wg.apply(ctx.W, m)
 }
 
@@ -55,7 +52,9 @@ func (*Fix) Round(ctx *core.RoundContext) {
 // requests as early as possible and balances load across resources.
 // Competitive ratio between 3d/(2d+2) and 2 - 2/d for d > 3 (Theorems 2.3
 // and 3.4).
-type FixBalance struct{}
+type FixBalance struct {
+	sc roundScratch
+}
 
 // NewFixBalance returns the A_fix_balance strategy.
 func NewFixBalance() *FixBalance { return &FixBalance{} }
@@ -67,17 +66,24 @@ func (*FixBalance) Name() string { return "A_fix_balance" }
 func (*FixBalance) Begin(n, d int) {}
 
 // Round implements core.Strategy.
-func (*FixBalance) Round(ctx *core.RoundContext) {
-	reqs := ctx.Unassigned()
-	wg := buildGraph(ctx.W, reqs, true)
+func (s *FixBalance) Round(ctx *core.RoundContext) {
+	reqs := s.sc.reqs[:0]
+	for _, r := range ctx.Pending {
+		if !ctx.W.Assigned(r) {
+			reqs = append(reqs, r)
+		}
+	}
+	s.sc.reqs = reqs
+	wg := s.sc.buildGraph(ctx.W, reqs, true)
 	// The F-maximal extension over the free slots: matched slot sets form a
 	// transversal matroid, so processing slots in ascending round order with
 	// one augmenting search each yields the weight-greedy basis — maximum
 	// cardinality with lexicographically maximal (X_t, ..., X_{t+d-1}).
-	classOf := wg.roundClasses(wg.depth)
-	m := lexMax(wg, classOf)
+	classOf := s.sc.roundClasses(wg.depth)
+	m := s.sc.emptyMatching()
+	s.sc.ms.LexMaxExtend(wg.g, m, classOf)
 	// Serve the oldest requests in the current round (see eager.go); this is
 	// the member Theorem 2.4's d=2 bound for A_fix_balance reasons about.
-	matching.PreferLowAtClass(wg.g, m, classOf, 0)
+	s.sc.ms.PreferLowAtClass(wg.g, m, classOf, 0)
 	wg.apply(ctx.W, m)
 }

@@ -32,13 +32,18 @@ func (wg *winGraph) slotOf(idx int) (res, round int) {
 // order: per request, alternatives as listed, rounds ascending, clipped to
 // the request's deadline.
 func buildGraph(w *core.Window, reqs []*core.Request, onlyFree bool) *winGraph {
-	wg := &winGraph{
-		reqs:  reqs,
-		n:     w.N(),
-		t:     w.Round(),
-		depth: w.Depth(),
-	}
-	wg.g = matching.NewGraph(len(reqs), wg.depth*wg.n)
+	wg := &winGraph{g: matching.NewGraph(len(reqs), w.Depth()*w.N())}
+	wg.fill(w, reqs, onlyFree)
+	return wg
+}
+
+// fill (re)populates wg for the given window and requests; wg.g must already
+// be dimensioned len(reqs) x depth*n.
+func (wg *winGraph) fill(w *core.Window, reqs []*core.Request, onlyFree bool) {
+	wg.reqs = reqs
+	wg.n = w.N()
+	wg.t = w.Round()
+	wg.depth = w.Depth()
 	for li, r := range reqs {
 		last := r.Deadline()
 		if max := wg.t + wg.depth - 1; last > max {
@@ -53,7 +58,95 @@ func buildGraph(w *core.Window, reqs []*core.Request, onlyFree bool) *winGraph {
 			}
 		}
 	}
-	return wg
+}
+
+// roundScratch is the per-strategy buffer set the global strategies carry
+// across rounds: the window graph, the working and cover matchings, the
+// weight-class vector, the identity order, request and snapshot buffers, and
+// the matching-solver scratch. Everything is allocated on first use and
+// reused afterwards, so each strategy's steady-state round does no graph or
+// matching allocation. A roundScratch belongs to exactly one strategy
+// instance; strategy instances are therefore not safe for concurrent use
+// (the measurement harness already builds one instance per goroutine).
+type roundScratch struct {
+	wg      winGraph
+	m       matching.Matching
+	cover   matching.Matching
+	ms      matching.Scratch
+	classOf []int32
+	index   map[int]int
+	order   []int
+	reqs    []*core.Request
+	snap    []core.Assignment
+}
+
+// buildGraph is buildGraph filling the scratch-owned graph in place.
+func (sc *roundScratch) buildGraph(w *core.Window, reqs []*core.Request, onlyFree bool) *winGraph {
+	if sc.wg.g == nil {
+		sc.wg.g = matching.NewGraph(len(reqs), w.Depth()*w.N())
+	} else {
+		sc.wg.g.Reset(len(reqs), w.Depth()*w.N())
+	}
+	sc.wg.fill(w, reqs, onlyFree)
+	return &sc.wg
+}
+
+// emptyMatching returns the scratch working matching, reset to the
+// dimensions of the scratch graph.
+func (sc *roundScratch) emptyMatching() *matching.Matching {
+	sc.m.Reset(sc.wg.g.NLeft(), sc.wg.g.NRight())
+	return &sc.m
+}
+
+// roundClasses is winGraph.roundClasses writing into the scratch buffer.
+func (sc *roundScratch) roundClasses(maxClass int) []int32 {
+	n := sc.wg.depth * sc.wg.n
+	if cap(sc.classOf) >= n {
+		sc.classOf = sc.classOf[:n]
+	} else {
+		sc.classOf = make([]int32, n)
+	}
+	for idx := range sc.classOf {
+		c := idx / sc.wg.n
+		if c >= maxClass {
+			c = maxClass - 1
+		}
+		sc.classOf[idx] = int32(c)
+	}
+	return sc.classOf
+}
+
+// coverMatching is winGraph.coverMatching reusing the scratch cover matching
+// and request-index map.
+func (sc *roundScratch) coverMatching(snapshot []core.Assignment) *matching.Matching {
+	if sc.index == nil {
+		sc.index = make(map[int]int, len(sc.wg.reqs))
+	} else {
+		clear(sc.index)
+	}
+	for li, r := range sc.wg.reqs {
+		sc.index[r.ID] = li
+	}
+	sc.cover.Reset(sc.wg.g.NLeft(), sc.wg.g.NRight())
+	for _, a := range snapshot {
+		if li, ok := sc.index[a.Req.ID]; ok {
+			sc.cover.Match(li, sc.wg.slotIdx(a.Res, a.Round))
+		}
+	}
+	return &sc.cover
+}
+
+// identOrder returns the scratch identity permutation 0..n-1.
+func (sc *roundScratch) identOrder(n int) []int {
+	if cap(sc.order) >= n {
+		sc.order = sc.order[:n]
+	} else {
+		sc.order = make([]int, n)
+	}
+	for i := range sc.order {
+		sc.order[i] = i
+	}
+	return sc.order
 }
 
 // roundClasses returns the weight-class vector used by the balance

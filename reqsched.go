@@ -75,8 +75,14 @@ type (
 // window d.
 func NewBuilder(n, d int) *Builder { return core.NewBuilder(n, d) }
 
-// Run simulates strategy s over trace tr.
+// Run simulates strategy s over trace tr. The trace must be valid; Run
+// panics otherwise (a programming error in a generator). Tools replaying
+// untrusted serialized traces should use RunChecked.
 func Run(s Strategy, tr *Trace) *Result { return core.Run(s, tr) }
+
+// RunChecked is Run for untrusted traces: it returns an error naming the
+// first offending request instead of panicking.
+func RunChecked(s Strategy, tr *Trace) (*Result, error) { return core.RunChecked(s, tr) }
 
 // Series is a per-round statistics trace; RoundStats one row of it.
 type (
@@ -243,6 +249,12 @@ func AdversaryEDF(d, intervals int) Construction { return adversary.EDFWorstCase
 // Measure runs s over tr and compares with the offline optimum.
 func Measure(s Strategy, tr *Trace) Measurement { return ratio.Measure(s, tr) }
 
+// MeasureChecked is Measure for untrusted traces: it returns an error naming
+// the first offending request instead of panicking.
+func MeasureChecked(s Strategy, tr *Trace) (Measurement, error) {
+	return ratio.MeasureChecked(s, tr)
+}
+
 // MeasureConstruction runs s on an adversarial construction and attaches the
 // construction's proven bound.
 func MeasureConstruction(c Construction, s Strategy) Measurement {
@@ -253,10 +265,22 @@ func MeasureConstruction(c Construction, s Strategy) Measurement {
 type MeasureJob = ratio.Job
 
 // MeasureParallel runs the jobs on a worker pool (GOMAXPROCS workers if
-// workers <= 0) and returns measurements in job order.
+// workers <= 0) and returns measurements in job order. A panicking job does
+// not take down its siblings: they complete, then MeasureParallel re-panics
+// with a *MeasureJobPanic naming the offending job.
 func MeasureParallel(jobs []MeasureJob, workers int) []Measurement {
 	return ratio.RunParallel(jobs, workers)
 }
+
+// MeasureParallelChecked is MeasureParallel returning job panics as an error
+// (one *MeasureJobPanic per failed job) instead of re-panicking.
+func MeasureParallelChecked(jobs []MeasureJob, workers int) ([]Measurement, error) {
+	return ratio.RunParallelChecked(jobs, workers)
+}
+
+// MeasureJobPanic attributes a panic in a MeasureParallel job to the job's
+// name and index.
+type MeasureJobPanic = ratio.JobPanic
 
 // RatioSummary aggregates a strategy's empirical ratio over many seeds.
 type RatioSummary = ratio.Summary

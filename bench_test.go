@@ -211,8 +211,11 @@ func BenchmarkEngineAllocs(b *testing.B) {
 	tr := reqsched.Uniform(reqsched.WorkloadConfig{
 		N: 16, D: 6, Rounds: 300, Rate: 18, Seed: 11,
 	})
+	// A_local_eager exercises RoundContext.Unassigned every round, covering
+	// the context's scratch-buffer reuse alongside the global strategies.
 	for _, name := range []string{
 		"A_fix", "A_current", "A_fix_balance", "A_eager", "A_balance",
+		"A_local_eager",
 	} {
 		name := name
 		b.Run(name, func(b *testing.B) {
@@ -220,6 +223,35 @@ func BenchmarkEngineAllocs(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				reqsched.Run(reqsched.StrategyByName(name), tr)
 			}
+		})
+	}
+}
+
+// BenchmarkOptimumParallel measures the segmented offline solver against the
+// monolithic one on a gapped (multi-segment) workload — the BENCH_engine.json
+// offline section is regenerated from cmd/bench, which mirrors this setup at
+// the million-request scale.
+func BenchmarkOptimumParallel(b *testing.B) {
+	tr := reqsched.Bursty(reqsched.WorkloadConfig{
+		N: 16, D: 4, Rounds: 2000, Rate: 0, Seed: 5,
+	}, 4, 8, 20)
+	want := reqsched.Optimum(tr)
+	b.Run("monolithic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reqsched.Optimum(tr)
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("segmented/workers=%d", workers), func(b *testing.B) {
+			var got int
+			for i := 0; i < b.N; i++ {
+				got = reqsched.OptimumParallel(tr, workers)
+			}
+			if got != want {
+				b.Fatalf("OptimumParallel = %d, Optimum = %d", got, want)
+			}
+			b.ReportMetric(float64(reqsched.TraceSegmentCount(tr)), "segments")
 		})
 	}
 }

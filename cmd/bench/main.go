@@ -1,8 +1,10 @@
 // Command bench records the engine's performance baseline as JSON. It runs
 // the BenchmarkEngine workload (uniform, N=16, D=6, 300 rounds, rate 18,
 // seed 11) through each strategy under testing.Benchmark and emits one entry
-// per strategy with ns/op, allocs/op, bytes/op and derived throughput. The
-// checked-in BENCH_engine.json is the reference the alloc-regression tests in
+// per strategy with ns/op, allocs/op, bytes/op and derived throughput, plus
+// an offline section benchmarking the segmented parallel optimum against the
+// monolithic solver on a million-request multi-segment trace. The checked-in
+// BENCH_engine.json is the reference the alloc-regression tests in
 // EXPERIMENTS.md compare against:
 //
 //	go run ./cmd/bench -out BENCH_engine.json
@@ -13,7 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"reqsched"
 )
@@ -29,6 +33,38 @@ type Entry struct {
 	Fulfilled      int     `json:"fulfilled"`
 }
 
+// OfflineEntry is one worker count's segmented-solver timing.
+type OfflineEntry struct {
+	Workers int     `json:"workers"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Speedup is monolithic ns / segmented ns at this worker count.
+	Speedup float64 `json:"speedup_vs_monolithic"`
+}
+
+// Offline records the segmented parallel offline optimum against the
+// monolithic Hopcroft–Karp solver on a gapped bursty trace (clean segment
+// cuts between bursts).
+type Offline struct {
+	Workload struct {
+		N         int     `json:"n"`
+		D         int     `json:"d"`
+		Rounds    int     `json:"rounds"`
+		On        int     `json:"on"`
+		Off       int     `json:"off"`
+		BurstRate float64 `json:"burst_rate"`
+		Seed      int64   `json:"seed"`
+		Requests  int     `json:"requests"`
+	} `json:"workload"`
+	Segments int `json:"segments"`
+	Optimum  int `json:"optimum"`
+	// GOMAXPROCS records the CPUs the timings ran on: with one visible CPU
+	// the speedup is algorithmic (many small matchings beat one monolithic
+	// run), not thread-level.
+	GOMAXPROCS   int            `json:"gomaxprocs"`
+	MonolithicNs float64        `json:"monolithic_ns_per_op"`
+	Entries      []OfflineEntry `json:"entries"`
+}
+
 // Baseline is the file format of BENCH_engine.json.
 type Baseline struct {
 	Workload struct {
@@ -39,12 +75,76 @@ type Baseline struct {
 		Seed     int64   `json:"seed"`
 		Requests int     `json:"requests"`
 	} `json:"workload"`
-	Entries []Entry `json:"entries"`
+	Entries []Entry  `json:"entries"`
+	Offline *Offline `json:"offline,omitempty"`
+}
+
+// timeIt returns the fastest of reps timed runs of f in nanoseconds.
+func timeIt(reps int, f func()) float64 {
+	best := 0.0
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		f()
+		ns := float64(time.Since(start).Nanoseconds())
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// benchOffline measures the monolithic and segmented offline solvers on a
+// multi-segment trace of roughly `requests` requests.
+func benchOffline(requests int) *Offline {
+	// Bursts of 4 rounds at burstRate, then 8 silent rounds (> d-1): every
+	// burst is an independent segment.
+	const (
+		n, d      = 16, 4
+		on, off   = 4, 8
+		burstRate = 50.0
+		seed      = 5
+	)
+	rounds := requests * (on + off) / (on * int(burstRate))
+	cfg := reqsched.WorkloadConfig{N: n, D: d, Rounds: rounds, Rate: 0, Seed: seed}
+	tr := reqsched.Bursty(cfg, on, off, burstRate)
+
+	var o Offline
+	o.Workload.N = n
+	o.Workload.D = d
+	o.Workload.Rounds = rounds
+	o.Workload.On = on
+	o.Workload.Off = off
+	o.Workload.BurstRate = burstRate
+	o.Workload.Seed = seed
+	o.Workload.Requests = tr.NumRequests()
+	o.Segments = reqsched.TraceSegmentCount(tr)
+	o.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	want := 0
+	o.MonolithicNs = timeIt(2, func() { want = reqsched.Optimum(tr) })
+	o.Optimum = want
+	for _, workers := range []int{1, 2, 4, 8} {
+		var got int
+		ns := timeIt(3, func() { got = reqsched.OptimumParallel(tr, workers) })
+		if got != want {
+			fmt.Fprintf(os.Stderr, "BUG: OptimumParallel(workers=%d) = %d, Optimum = %d\n", workers, got, want)
+			os.Exit(1)
+		}
+		o.Entries = append(o.Entries, OfflineEntry{
+			Workers: workers,
+			NsPerOp: ns,
+			Speedup: o.MonolithicNs / ns,
+		})
+		fmt.Fprintf(os.Stderr, "offline workers=%d %14.0f ns/op  speedup %.2fx\n",
+			workers, ns, o.MonolithicNs/ns)
+	}
+	return &o
 }
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	benchtime := flag.Duration("benchtime", 0, "per-strategy benchmark time (default testing's 1s)")
+	offlineReqs := flag.Int("offline-requests", 1_000_000, "request count for the segmented-optimum benchmark (0 skips it)")
 	flag.Parse()
 	if *benchtime > 0 {
 		// testing.Benchmark honours the -test.benchtime flag.
@@ -97,6 +197,10 @@ func main() {
 		})
 		fmt.Fprintf(os.Stderr, "%-16s %12.0f ns/op %8d allocs/op %10d B/op  served %d\n",
 			name, nsPerOp, r.AllocsPerOp(), r.AllocedBytesPerOp(), fulfilled)
+	}
+
+	if *offlineReqs > 0 {
+		base.Offline = benchOffline(*offlineReqs)
 	}
 
 	w := os.Stdout

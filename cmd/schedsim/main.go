@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 
@@ -38,6 +39,7 @@ func main() {
 		series   = flag.Bool("series", false, "emit per-round CSV for the selected strategy instead of the summary")
 		seeds    = flag.Int("seeds", 1, "aggregate over this many seeds (mean±std instead of one run)")
 		config   = flag.String("config", "", "run a declarative JSON experiment suite instead of flags")
+		workers  = flag.Int("workers", 0, "worker pool for multi-seed runs and the offline optimum (<= 0: GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -52,6 +54,9 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if *workers != 0 {
+			suite.Workers = *workers
 		}
 		rep, err := suite.Run()
 		if err != nil {
@@ -95,9 +100,13 @@ func main() {
 		names := strategyNames(*strategy, *all)
 		for _, name := range names {
 			name := name
-			sum := reqsched.Summarize(
+			sum, err := reqsched.SummarizeParallel(
 				func() reqsched.Strategy { return reqsched.StrategyByName(name) },
-				gen, *seeds)
+				gen, *seeds, *workers)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 			fmt.Println(sum)
 		}
 		return
@@ -123,8 +132,9 @@ func main() {
 	}
 
 	fmt.Printf("workload %s: %s\n", *wl, reqsched.SummarizeTrace(tr))
-	opt := reqsched.Optimum(tr)
-	fmt.Printf("offline optimum: %d of %d requests\n\n", opt, tr.NumRequests())
+	opt := reqsched.OptimumParallel(tr, *workers)
+	fmt.Printf("offline optimum: %d of %d requests (%d segments)\n\n",
+		opt, tr.NumRequests(), reqsched.TraceSegmentCount(tr))
 
 	names := strategyNames(*strategy, *all)
 
@@ -137,9 +147,9 @@ func main() {
 			os.Exit(2)
 		}
 		res := reqsched.Run(s, tr)
-		fmt.Printf("%-20s %9d %7d %9.4f %9.2f %9.3f %10d %9d\n",
+		fmt.Printf("%-20s %9d %7d %9s %9.2f %9.3f %10d %9d\n",
 			name, res.Fulfilled, res.Expired,
-			ratioOf(opt, res.Fulfilled), res.MeanLatency(),
+			fmtRatio(ratioOf(opt, res.Fulfilled)), res.MeanLatency(),
 			imbalance(res.PerResource), res.CommRounds, res.Messages)
 	}
 }
@@ -157,15 +167,25 @@ func strategyNames(strategy string, all bool) []string {
 	return names
 }
 
-// ratioOf is OPT/ALG with a zero guard.
+// ratioOf is OPT/ALG: 1 when both served nothing, +Inf when only the
+// strategy starved (OPT served something, ALG nothing).
 func ratioOf(opt, alg int) float64 {
 	if alg == 0 {
 		if opt == 0 {
 			return 1
 		}
-		return 0
+		return math.Inf(1)
 	}
 	return float64(opt) / float64(alg)
+}
+
+// fmtRatio renders a ratio, spelling starvation out as "inf" instead of a
+// misleading numeric value.
+func fmtRatio(r float64) string {
+	if math.IsInf(r, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.4f", r)
 }
 
 // imbalance is max/mean of the per-resource service counts (1.0 = perfectly

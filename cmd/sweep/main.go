@@ -6,12 +6,17 @@
 //	-mode l     A_current's ratio versus l, converging to e/(e-1);
 //	-mode load  empirical ratio of every strategy on random load as the
 //	            arrival rate sweeps past saturation.
+//
+// All modes run their measurements on a -workers sized pool; rows are printed
+// in a fixed order regardless of the worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 
 	"reqsched"
 )
@@ -19,23 +24,37 @@ import (
 func main() {
 	mode := flag.String("mode", "d", "d | l | load")
 	phases := flag.Int("phases", 60, "adversary phases")
+	workers := flag.Int("workers", 0, "measurement pool size (<= 0: GOMAXPROCS)")
 	flag.Parse()
 
 	switch *mode {
 	case "d":
-		sweepD(*phases)
+		sweepD(*phases, *workers)
 	case "l":
-		sweepL()
+		sweepL(*workers)
 	case "load":
-		sweepLoad()
+		sweepLoad(*workers)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
 }
 
-func sweepD(phases int) {
-	fmt.Println("strategy,d,opt,alg,measured,provenLB,provenUB")
+// fmtRatio renders a measured competitive ratio, spelling out starvation as
+// "inf" (the strategy served nothing while OPT served something) instead of
+// a misleading 0.000000.
+func fmtRatio(r float64) string {
+	if math.IsInf(r, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.6f", r)
+}
+
+func sweepD(phases, workers int) {
+	type point struct {
+		name string
+		d    int
+	}
 	type row struct {
 		name  string
 		mk    func() reqsched.Strategy
@@ -61,13 +80,25 @@ func sweepD(phases int) {
 			func(d int) reqsched.Construction { return reqsched.AdversaryLocalFix(d, phases) },
 			[]int{1, 2, 4, 8, 16}},
 	}
+	var jobs []reqsched.MeasureJob
+	var points []point
 	for _, r := range rows {
 		for _, d := range r.ds {
-			c := r.build(d)
-			m := reqsched.MeasureConstruction(c, r.mk())
-			fmt.Printf("%s,%d,%d,%d,%.6f,%.6f,%s\n",
-				r.name, d, m.OPT, m.ALG, m.Ratio(), c.Bound, ub(r.name, d))
+			r, d := r, d
+			jobs = append(jobs, reqsched.MeasureJob{
+				Name:     fmt.Sprintf("%s/d=%d", r.name, d),
+				Build:    func() reqsched.Construction { return r.build(d) },
+				Strategy: r.mk,
+			})
+			points = append(points, point{r.name, d})
 		}
+	}
+	ms := reqsched.MeasureParallel(jobs, workers)
+	fmt.Println("strategy,d,opt,alg,measured,provenLB,provenUB")
+	for i, m := range ms {
+		p := points[i]
+		fmt.Printf("%s,%d,%d,%d,%s,%.6f,%s\n",
+			p.name, p.d, m.OPT, m.ALG, fmtRatio(m.Ratio()), m.Bound, ub(p.name, p.d))
 	}
 }
 
@@ -104,30 +135,61 @@ func ub(name string, d int) string {
 	return ""
 }
 
-func sweepL() {
+func sweepL(workers int) {
+	ls := []int{2, 3, 4, 5, 6, 7}
+	var jobs []reqsched.MeasureJob
+	for _, l := range ls {
+		l := l
+		jobs = append(jobs, reqsched.MeasureJob{
+			Name:     fmt.Sprintf("l=%d", l),
+			Build:    func() reqsched.Construction { return reqsched.AdversaryCurrent(l, 5) },
+			Strategy: reqsched.NewACurrent,
+		})
+	}
+	ms := reqsched.MeasureParallel(jobs, workers)
 	fmt.Println("l,d,opt,alg,measured,analytic,asymptote")
-	for l := 2; l <= 7; l++ {
-		c := reqsched.AdversaryCurrent(l, 5)
-		m := reqsched.MeasureConstruction(c, reqsched.NewACurrent())
-		fmt.Printf("%d,%d,%d,%d,%.6f,%.6f,%.6f\n",
-			l, c.D, m.OPT, m.ALG, m.Ratio(), reqsched.AdversaryCurrentBound(l), 1.5819767)
+	for i, m := range ms {
+		l := ls[i]
+		fmt.Printf("%d,%d,%d,%d,%s,%.6f,%.6f\n",
+			l, m.D, m.OPT, m.ALG, fmtRatio(m.Ratio()), reqsched.AdversaryCurrentBound(l), 1.5819767)
 	}
 }
 
-func sweepLoad() {
-	fmt.Println("strategy,rate,opt,alg,measured")
+func sweepLoad(workers int) {
 	n, d := 8, 4
-	for _, frac := range []float64{0.5, 0.8, 1.0, 1.2, 1.5, 2.0, 3.0} {
+	fracs := []float64{0.5, 0.8, 1.0, 1.2, 1.5, 2.0, 3.0}
+	names := make([]string, 0)
+	for name := range reqsched.Strategies() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	type point struct {
+		name string
+		frac float64
+	}
+	var jobs []reqsched.MeasureJob
+	var points []point
+	for _, frac := range fracs {
 		cfg := reqsched.WorkloadConfig{N: n, D: d, Rounds: 150, Rate: frac * float64(n), Seed: 7}
-		tr := reqsched.Uniform(cfg)
-		opt := reqsched.Optimum(tr)
-		for name, s := range reqsched.Strategies() {
-			res := reqsched.Run(s, tr)
-			r := 0.0
-			if res.Fulfilled > 0 {
-				r = float64(opt) / float64(res.Fulfilled)
-			}
-			fmt.Printf("%s,%.2f,%d,%d,%.6f\n", name, frac, opt, res.Fulfilled, r)
+		for _, name := range names {
+			name := name
+			jobs = append(jobs, reqsched.MeasureJob{
+				Name: fmt.Sprintf("%s@%.2f", name, frac),
+				// Regenerate the (seeded, deterministic) trace per job so
+				// concurrent runs never share storage.
+				Build: func() reqsched.Construction {
+					return reqsched.Construction{Trace: reqsched.Uniform(cfg)}
+				},
+				Strategy: func() reqsched.Strategy { return reqsched.StrategyByName(name) },
+			})
+			points = append(points, point{name, frac})
 		}
+	}
+	ms := reqsched.MeasureParallel(jobs, workers)
+	fmt.Println("strategy,rate,opt,alg,measured")
+	for i, m := range ms {
+		p := points[i]
+		fmt.Printf("%s,%.2f,%d,%d,%s\n", p.name, p.frac, m.OPT, m.ALG, fmtRatio(m.Ratio()))
 	}
 }

@@ -2,8 +2,13 @@
 //
 //	tracegen gen  -workload zipf -n 8 -d 4 -rounds 100 -out trace.json
 //	tracegen gen  -adversary fix -d 4 -phases 40 -out fix.json
+//	tracegen gen  -workload bursty -rounds 100000 -stream -out trace.jsonl
 //	tracegen info -in trace.json
+//	tracegen info -in trace.jsonl -stream -workers 4
 //	tracegen run  -in trace.json -strategy A_balance
+//
+// With -stream, gen emits the JSONL stream format and info evaluates the
+// offline optimum segment by segment without materializing the trace.
 package main
 
 import (
@@ -80,6 +85,7 @@ func gen(args []string) {
 		zipfS  = fs.Float64("zipf", 1.4, "zipf exponent")
 		phases = fs.Int("phases", 40, "adversary phases")
 		out    = fs.String("out", "", "output file (default stdout)")
+		stream = fs.Bool("stream", false, "emit the streaming JSONL format instead of one JSON document")
 	)
 	fs.Parse(args)
 	if *rate == 0 {
@@ -136,7 +142,11 @@ func gen(args []string) {
 		defer f.Close()
 		w = f
 	}
-	if err := reqsched.WriteTrace(w, tr); err != nil {
+	write := reqsched.WriteTrace
+	if *stream {
+		write = reqsched.WriteTraceStream
+	}
+	if err := write(w, tr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -160,9 +170,26 @@ func load(path string) *reqsched.Trace {
 func info(args []string) {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	in := fs.String("in", "", "trace file")
+	stream := fs.Bool("stream", false, "treat the input as a JSONL stream; evaluate segment by segment")
+	workers := fs.Int("workers", 0, "segment solver pool for -stream (<= 0: GOMAXPROCS)")
 	fs.Parse(args)
 	if *in == "" {
 		usage()
+	}
+	if *stream {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opt, nsegs, err := reqsched.OptimumStream(reqsched.TraceSegments(f), *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("offline optimum: %d over %d independent segments\n", opt, nsegs)
+		return
 	}
 	tr := load(*in)
 	fmt.Println(reqsched.SummarizeTrace(tr))

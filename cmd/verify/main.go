@@ -1,13 +1,20 @@
 // Command verify runs the reproduction's headline checks in one shot — a
 // CI-style gate. It measures every Table 1 row's adversary in parallel,
 // checks proven bounds on both sides, re-validates the structural
-// augmenting-path claims of the upper-bound proofs, and exits non-zero on
-// any violation.
+// augmenting-path claims of the upper-bound proofs, cross-checks the
+// segmented parallel offline optimum against the monolithic solver, and
+// exits non-zero on any violation. With -tools it additionally shells out to
+// `go vet ./...` and the race-detector tests of the concurrent packages.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"os/exec"
+	"sort"
+	"strings"
 
 	"reqsched"
 )
@@ -19,6 +26,10 @@ type check struct {
 }
 
 func main() {
+	workers := flag.Int("workers", 0, "measurement pool size (<= 0: GOMAXPROCS)")
+	tools := flag.Bool("tools", false, "also run `go vet ./...` and `go test -race` on the concurrent packages")
+	flag.Parse()
+
 	var checks []check
 	add := func(name string, ok bool, format string, args ...interface{}) {
 		checks = append(checks, check{name, ok, fmt.Sprintf(format, args...)})
@@ -55,7 +66,7 @@ func main() {
 	for i, r := range rows {
 		jobs[i] = reqsched.MeasureJob{Name: r.name, Build: r.build, Strategy: r.strategy}
 	}
-	results := reqsched.MeasureParallel(jobs, 0)
+	results := reqsched.MeasureParallel(jobs, *workers)
 	for i, m := range results {
 		r := rows[i]
 		got := m.Ratio()
@@ -63,11 +74,18 @@ func main() {
 		add("bounds: "+r.name, ok, "measured %.4f, proven LB %.4f, UB %.4f", got, r.lb, r.ub)
 	}
 
-	// 2. Structural proof claims on a stress workload.
+	// 2. Structural proof claims on a stress workload, in name order so the
+	// report is byte-identical across runs.
 	tr := reqsched.Uniform(reqsched.WorkloadConfig{N: 6, D: 4, Rounds: 60, Rate: 10, Seed: 99})
 	opt := reqsched.Optimum(tr)
-	for name, s := range reqsched.Strategies() {
-		res := reqsched.Run(s, tr)
+	strategies := reqsched.Strategies()
+	names := make([]string, 0, len(strategies))
+	for name := range strategies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		res := reqsched.Run(strategies[name], tr)
 		err := reqsched.ValidateLog(tr, res.Log)
 		add("valid schedule: "+name, err == nil && res.Fulfilled <= opt,
 			"served %d of %d (OPT %d), err=%v", res.Fulfilled, tr.NumRequests(), opt, err)
@@ -78,6 +96,59 @@ func main() {
 	edf := reqsched.Run(reqsched.NewEDF(), single)
 	add("EDF single-choice optimal", edf.Fulfilled == reqsched.Optimum(single),
 		"EDF %d vs OPT %d", edf.Fulfilled, reqsched.Optimum(single))
+
+	// 4. Segmented parallel OPT agrees with the monolithic solver on every
+	// oblivious Table 1 adversary trace and a batch of random workloads.
+	// (Adaptive constructions have no fixed trace; the offline package's
+	// property tests cover their materialized runs.)
+	for _, r := range rows {
+		tr := r.build().Trace
+		if tr == nil {
+			continue
+		}
+		want := reqsched.Optimum(tr)
+		got := reqsched.OptimumParallel(tr, *workers)
+		add("segmented OPT: "+r.name, got == want,
+			"parallel %d vs monolithic %d (%d segments)", got, want, reqsched.TraceSegmentCount(tr))
+	}
+	rng := rand.New(rand.NewSource(424242))
+	mismatches, trials := 0, 40
+	for i := 0; i < trials; i++ {
+		cfg := reqsched.WorkloadConfig{
+			N: 2 + rng.Intn(8), D: 1 + rng.Intn(5), Rounds: 20 + rng.Intn(60),
+			Rate: rng.Float64() * 12, Seed: rng.Int63(),
+		}
+		var tr *reqsched.Trace
+		if i%2 == 0 {
+			tr = reqsched.Uniform(cfg)
+		} else {
+			r := cfg.Rate
+			cfg.Rate = 0
+			tr = reqsched.Bursty(cfg, 3, 2+rng.Intn(6), r)
+		}
+		if reqsched.OptimumParallel(tr, *workers) != reqsched.Optimum(tr) {
+			mismatches++
+		}
+	}
+	add("segmented OPT: random traces", mismatches == 0,
+		"%d/%d random workloads mismatched", mismatches, trials)
+
+	// 5. Optional toolchain gates.
+	if *tools {
+		cmds := [][]string{
+			{"go", "vet", "./..."},
+			{"go", "test", "-race", "./internal/offline", "./internal/experiment"},
+		}
+		for _, args := range cmds {
+			cmd := exec.Command(args[0], args[1:]...)
+			out, err := cmd.CombinedOutput()
+			info := "ok"
+			if err != nil {
+				info = fmt.Sprintf("%v\n%s", err, out)
+			}
+			add("tool: "+strings.Join(args, " "), err == nil, "%s", info)
+		}
+	}
 
 	// Report.
 	failures := 0

@@ -94,14 +94,14 @@ func RunAdaptive(s Strategy, src AdaptiveSource) (*Result, *Trace) {
 		}
 
 		pending = append(pending, arrivals...)
-		ctx = RoundContext{
-			T:        t,
-			N:        n,
-			D:        d,
-			Arrivals: arrivals,
-			Pending:  pending,
-			W:        w,
-		}
+		// Rewrite fields rather than the struct so the context's Unassigned
+		// scratch buffer is reused across rounds.
+		ctx.T = t
+		ctx.N = n
+		ctx.D = d
+		ctx.Arrivals = arrivals
+		ctx.Pending = pending
+		ctx.W = w
 		s.Round(&ctx)
 
 		clear(servedNow)

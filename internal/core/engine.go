@@ -36,17 +36,25 @@ type RoundContext struct {
 	Pending []*Request
 	// W is the schedule window, positioned at round T.
 	W *Window
+
+	// unassigned is the reusable buffer behind Unassigned. The engine keeps
+	// the context (and thus the buffer) alive across rounds, so strategies
+	// that call Unassigned every round allocate nothing in steady state.
+	unassigned []*Request
 }
 
 // Unassigned returns the pending requests that currently hold no slot, in ID
-// order.
+// order. Like Arrivals and Pending, the returned slice is engine scratch: it
+// is valid until the next Unassigned call and must not be retained past
+// Round.
 func (ctx *RoundContext) Unassigned() []*Request {
-	var out []*Request
+	out := ctx.unassigned[:0]
 	for _, r := range ctx.Pending {
 		if !ctx.W.Assigned(r) {
 			out = append(out, r)
 		}
 	}
+	ctx.unassigned = out
 	return out
 }
 
@@ -128,6 +136,11 @@ func run(s Strategy, tr *Trace, series *Series) (*Result, error) {
 		ctx      RoundContext
 	)
 	served := make(map[int]bool, tr.N)
+	// The context struct is reused across rounds (fields rewritten, not the
+	// struct) so its Unassigned scratch buffer survives the loop.
+	ctx.N = tr.N
+	ctx.D = tr.D
+	ctx.W = w
 	for t := 0; t < horizon; t++ {
 		var rs RoundStats
 		rs.T = t
@@ -156,14 +169,9 @@ func run(s Strategy, tr *Trace, series *Series) (*Result, error) {
 		pending = append(pending, arrivals...)
 
 		// 3. Let the strategy (re)compute the schedule.
-		ctx = RoundContext{
-			T:        t,
-			N:        tr.N,
-			D:        tr.D,
-			Arrivals: arrivals,
-			Pending:  pending,
-			W:        w,
-		}
+		ctx.T = t
+		ctx.Arrivals = arrivals
+		ctx.Pending = pending
 		s.Round(&ctx)
 
 		rs.Arrived = len(arrivals)

@@ -89,6 +89,11 @@ func (tr *Trace) Validate() error {
 		return fmt.Errorf("trace: D=%d < 1", tr.D)
 	}
 	next := 0
+	// seen[a] == gen marks resource a as already named by the current request;
+	// bumping gen per request resets the table without reallocating, so the
+	// duplicate check costs one allocation per Validate, not one per request.
+	seen := make([]int, tr.N)
+	gen := 0
 	for t, rs := range tr.Arrivals {
 		for i := range rs {
 			r := &rs[i]
@@ -105,15 +110,15 @@ func (tr *Trace) Validate() error {
 			if len(r.Alts) < 1 {
 				return fmt.Errorf("trace: %v has no alternatives", r)
 			}
-			seen := map[int]bool{}
+			gen++
 			for _, a := range r.Alts {
 				if a < 0 || a >= tr.N {
 					return fmt.Errorf("trace: %v names resource %d outside [0,%d)", r, a, tr.N)
 				}
-				if seen[a] {
+				if seen[a] == gen {
 					return fmt.Errorf("trace: %v repeats alternative %d", r, a)
 				}
-				seen[a] = true
+				seen[a] = gen
 			}
 		}
 	}

@@ -30,6 +30,10 @@ type Config struct {
 	Strategies []string `json:"strategies,omitempty"`
 	// Seeds is the number of seeds to aggregate over (default 1).
 	Seeds int `json:"seeds,omitempty"`
+	// Workers sizes the worker pool the per-seed simulations and offline
+	// optima run on (<= 0: GOMAXPROCS). Results are independent of the
+	// worker count: the runner folds measurements in seed order.
+	Workers int `json:"workers,omitempty"`
 }
 
 // WorkloadSpec parameterizes a workload family.
@@ -191,7 +195,9 @@ type Report struct {
 	Rows        []Row
 }
 
-// Run executes the suite: every strategy against the same seed family.
+// Run executes the suite: every strategy against the same seed family. The
+// per-seed work (simulation plus segmented offline optimum) runs on a
+// Workers-sized pool; the report is identical for every worker count.
 func (c *Config) Run() (*Report, error) {
 	if err := c.validate(); err != nil {
 		return nil, err
@@ -200,12 +206,15 @@ func (c *Config) Run() (*Report, error) {
 	rep := &Report{Config: c}
 	optSum := 0
 	for seed := int64(0); seed < int64(c.Seeds); seed++ {
-		optSum += offline.Optimum(gen(seed))
+		optSum += offline.OptimumParallel(gen(seed), c.Workers)
 	}
 	rep.MeanOptimum = float64(optSum) / float64(c.Seeds)
 	mk := allStrategies()
 	for _, name := range c.Strategies {
-		sum := ratio.Summarize(mk[name], gen, c.Seeds)
+		sum, err := ratio.SummarizeParallel(mk[name], gen, c.Seeds, c.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: strategy %s: %w", name, err)
+		}
 		rep.Rows = append(rep.Rows, Row{Strategy: name, Summary: sum})
 	}
 	sort.Slice(rep.Rows, func(i, j int) bool {

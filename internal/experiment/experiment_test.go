@@ -114,3 +114,37 @@ func TestRunTrapMix(t *testing.T) {
 		t.Fatalf("expected A_balance first, got %v", rep.Rows[0].Strategy)
 	}
 }
+
+func TestRunWorkerCountDoesNotChangeReport(t *testing.T) {
+	// The report is folded in seed order, so every worker count produces the
+	// same numbers — including the stddev, which is order-sensitive.
+	mk := func(workers int) *Config {
+		return &Config{
+			Workload:   WorkloadSpec{Kind: "bursty", N: 4, D: 2, Rounds: 20, Rate: 3, On: 3, Off: 4},
+			Strategies: []string{"A_fix", "A_balance"},
+			Seeds:      6,
+			Workers:    workers,
+		}
+	}
+	base, err := mk(1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 0} {
+		rep, err := mk(workers).Run()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.MeanOptimum != base.MeanOptimum {
+			t.Fatalf("workers=%d: mean OPT %f vs %f", workers, rep.MeanOptimum, base.MeanOptimum)
+		}
+		for i := range base.Rows {
+			a, b := base.Rows[i].Summary, rep.Rows[i].Summary
+			if rep.Rows[i].Strategy != base.Rows[i].Strategy ||
+				a.Ratio.Mean() != b.Ratio.Mean() || a.Ratio.Std() != b.Ratio.Std() ||
+				a.Served.Mean() != b.Served.Mean() || a.Starved != b.Starved {
+				t.Fatalf("workers=%d row %d differs:\n%v\n%v", workers, i, a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,298 @@
+// Segmented offline optimum. Maximum matching decomposes exactly over the
+// connected components of the request/slot graph G = (R ∪ S, E): no
+// augmenting path crosses between components, so the optimum of a trace is
+// the sum of the optima of its independent pieces. Long traces whose deadline
+// windows do not all overlap split at quiet round boundaries into time
+// segments that can be solved concurrently — the one remaining serial,
+// memory-proportional-to-horizon bottleneck of the measurement harness
+// becomes an embarrassingly parallel sum of small Hopcroft–Karp runs.
+package offline
+
+import (
+	"iter"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"reqsched/internal/core"
+	"reqsched/internal/matching"
+)
+
+// Segment is one independent piece of a trace's request/slot graph: the
+// requests Reqs, every one of whose deadline windows lies within rounds
+// [Lo, Hi]. No request outside the segment competes for a slot inside it, so
+// its maximum matching can be computed in isolation and summed.
+type Segment struct {
+	// Lo and Hi bound the segment's rounds, inclusive.
+	Lo, Hi int
+	// Reqs are the segment's requests, in ID order.
+	Reqs []*core.Request
+}
+
+// SegmentTrace cuts tr at every round boundary no request's deadline window
+// crosses: a boundary before round t is clean when every request that arrived
+// earlier has a deadline before t. Arrivals are stored in round order, so one
+// pass tracking the running maximum deadline finds all clean cuts in
+// O(requests + horizon). Traces with permanently overlapping windows yield a
+// single segment; callers that still want to decompose them use Components.
+func SegmentTrace(tr *core.Trace) []Segment {
+	var segs []Segment
+	var cur []*core.Request
+	lo, maxDL := 0, -1
+	for t := range tr.Arrivals {
+		rs := tr.Arrivals[t]
+		if len(rs) == 0 {
+			continue
+		}
+		if len(cur) > 0 && t > maxDL {
+			segs = append(segs, Segment{Lo: lo, Hi: maxDL, Reqs: cur})
+			cur = nil
+		}
+		if len(cur) == 0 {
+			lo = t
+		}
+		for i := range rs {
+			r := &rs[i]
+			cur = append(cur, r)
+			if dl := r.Deadline(); dl > maxDL {
+				maxDL = dl
+			}
+		}
+	}
+	if len(cur) > 0 {
+		segs = append(segs, Segment{Lo: lo, Hi: maxDL, Reqs: cur})
+	}
+	return segs
+}
+
+// Components decomposes tr into the connected components of its request/slot
+// graph with a union-find over slots — the exact decomposition even when
+// deadline windows overlap everywhere and no clean time cut exists (e.g.
+// resource-disjoint request populations). Components are returned in order of
+// their lowest request ID; each component's Lo/Hi bound its requests' windows,
+// though components may overlap in time.
+func Components(tr *core.Trace) []Segment {
+	n := tr.N
+	parent := make([]int32, tr.Horizon()*n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	reqs := tr.Requests()
+	for _, r := range reqs {
+		first := int32(SlotIndex(n, r.Alts[0], r.Arrive))
+		lo, hi := r.Arrive, r.Deadline()
+		for _, a := range r.Alts {
+			for t := lo; t <= hi; t++ {
+				union(first, int32(SlotIndex(n, a, t)))
+			}
+		}
+	}
+	// Group requests by component root, components ordered by first request.
+	index := make(map[int32]int)
+	var segs []Segment
+	for _, r := range reqs {
+		root := find(int32(SlotIndex(n, r.Alts[0], r.Arrive)))
+		i, ok := index[root]
+		if !ok {
+			i = len(segs)
+			index[root] = i
+			segs = append(segs, Segment{Lo: r.Arrive, Hi: r.Deadline()})
+		}
+		seg := &segs[i]
+		seg.Reqs = append(seg.Reqs, r)
+		if r.Arrive < seg.Lo {
+			seg.Lo = r.Arrive
+		}
+		if dl := r.Deadline(); dl > seg.Hi {
+			seg.Hi = dl
+		}
+	}
+	return segs
+}
+
+// solveSegment computes the maximum matching cardinality of one segment with
+// Hopcroft–Karp on caller-owned scratch. Right vertices are the segment's
+// slots: remapped arithmetically into the [Lo, Hi] × n rectangle when the
+// segment covers it densely, or through first-seen compact numbering when the
+// segment is sparse in its span (union-find components interleaved with
+// others), so a component never pays for rounds it does not touch. The
+// cardinality of a maximum matching does not depend on the remapping or the
+// edge order, so the sum over segments equals Optimum exactly.
+func solveSegment(n int, seg Segment, g *matching.Graph, m *matching.Matching, sc *matching.Scratch, slotIDs map[int]int32) int {
+	edges := 0
+	for _, r := range seg.Reqs {
+		edges += len(r.Alts) * (r.Deadline() - r.Arrive + 1)
+	}
+	if rect := (seg.Hi - seg.Lo + 1) * n; rect <= 4*edges {
+		g.Reset(len(seg.Reqs), rect)
+		for l, r := range seg.Reqs {
+			lo, hi := r.Arrive, r.Deadline()
+			for _, a := range r.Alts {
+				for t := lo; t <= hi; t++ {
+					g.AddEdge(l, (t-seg.Lo)*n+a)
+				}
+			}
+		}
+	} else {
+		clear(slotIDs)
+		nRight := 0
+		for _, r := range seg.Reqs {
+			lo, hi := r.Arrive, r.Deadline()
+			for _, a := range r.Alts {
+				for t := lo; t <= hi; t++ {
+					s := SlotIndex(n, a, t)
+					if _, ok := slotIDs[s]; !ok {
+						slotIDs[s] = int32(nRight)
+						nRight++
+					}
+				}
+			}
+		}
+		g.Reset(len(seg.Reqs), nRight)
+		for l, r := range seg.Reqs {
+			lo, hi := r.Arrive, r.Deadline()
+			for _, a := range r.Alts {
+				for t := lo; t <= hi; t++ {
+					g.AddEdge(l, int(slotIDs[SlotIndex(n, a, t)]))
+				}
+			}
+		}
+	}
+	m.Reset(g.NLeft(), g.NRight())
+	sc.HopcroftKarpExtend(g, m)
+	return m.Size()
+}
+
+// OptimumParallel returns exactly Optimum(tr), computed by decomposing the
+// trace into independent segments (clean time cuts, falling back to
+// union-find connected components when no cut exists) and solving each with
+// Hopcroft–Karp on a worker pool. Each worker owns its graph, matching and
+// matching.Scratch, so steady-state allocation is per worker, not per
+// segment, and peak memory is proportional to the largest segment rather than
+// the horizon. workers <= 0 means GOMAXPROCS.
+func OptimumParallel(tr *core.Trace, workers int) int {
+	segs := SegmentTrace(tr)
+	if len(segs) <= 1 {
+		segs = Components(tr)
+	}
+	return solveSegments(tr.N, segs, workers)
+}
+
+// solveSegments sums the per-segment optima over a worker pool. Workers claim
+// segments through an atomic cursor; the sum is order-independent, so the
+// result is deterministic regardless of scheduling.
+func solveSegments(n int, segs []Segment, workers int) int {
+	if len(segs) == 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+	if workers <= 1 {
+		var (
+			g       matching.Graph
+			m       matching.Matching
+			sc      matching.Scratch
+			slotIDs = make(map[int]int32)
+		)
+		total := 0
+		for _, seg := range segs {
+			total += solveSegment(n, seg, &g, &m, &sc, slotIDs)
+		}
+		return total
+	}
+	var (
+		total atomic.Int64
+		next  atomic.Int64
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var (
+				g       matching.Graph
+				m       matching.Matching
+				sc      matching.Scratch
+				slotIDs = make(map[int]int32)
+			)
+			sum := 0
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(segs) {
+					break
+				}
+				sum += solveSegment(n, segs[i], &g, &m, &sc, slotIDs)
+			}
+			total.Add(int64(sum))
+		}()
+	}
+	wg.Wait()
+	return int(total.Load())
+}
+
+// OptimumStream sums the offline optimum over a stream of independent
+// sub-traces (one per yielded value, e.g. trace.Segments over a JSONL
+// stream) on a worker pool, holding at most workers+1 segments in memory at
+// once — the bounded-memory evaluation path for traces too large to
+// materialize. It returns the total optimum and the number of segments
+// consumed. The first error from the iterator stops consumption and is
+// returned after in-flight segments finish.
+func OptimumStream(segments iter.Seq2[*core.Trace, error], workers int) (opt, nsegs int, err error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ch := make(chan *core.Trace)
+	var (
+		total atomic.Int64
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var (
+				g       matching.Graph
+				m       matching.Matching
+				sc      matching.Scratch
+				slotIDs = make(map[int]int32)
+			)
+			sum := 0
+			for tr := range ch {
+				seg := Segment{Lo: 0, Hi: tr.Horizon() - 1, Reqs: tr.Requests()}
+				sum += solveSegment(tr.N, seg, &g, &m, &sc, slotIDs)
+			}
+			total.Add(int64(sum))
+		}()
+	}
+	for tr, serr := range segments {
+		if serr != nil {
+			err = serr
+			break
+		}
+		ch <- tr
+		nsegs++
+	}
+	close(ch)
+	wg.Wait()
+	if err != nil {
+		return 0, nsegs, err
+	}
+	return int(total.Load()), nsegs, nil
+}

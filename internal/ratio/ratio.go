@@ -19,6 +19,9 @@ type Measurement struct {
 	Input    string
 	N, D     int
 	OPT, ALG int
+	// Expired counts the requests the strategy let pass their deadlines
+	// (Requests - ALG on complete runs).
+	Expired int
 	// Bound is the theoretical bound attached to the input (0 if none).
 	Bound float64
 }
@@ -66,6 +69,7 @@ func MeasureChecked(s core.Strategy, tr *core.Trace) (Measurement, error) {
 		D:        tr.D,
 		OPT:      offline.Optimum(tr),
 		ALG:      res.Fulfilled,
+		Expired:  res.Expired,
 	}, nil
 }
 
@@ -80,6 +84,7 @@ func MeasureAdaptive(s core.Strategy, src core.AdaptiveSource) Measurement {
 		D:        tr.D,
 		OPT:      offline.Optimum(tr),
 		ALG:      res.Fulfilled,
+		Expired:  res.Expired,
 	}
 }
 

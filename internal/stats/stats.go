@@ -101,6 +101,11 @@ func (h *Histogram) Quantile(q float64) int {
 		return 0
 	}
 	need := int(math.Ceil(q * float64(h.total)))
+	if need < 1 {
+		// Quantile(0) must still land on a non-empty bucket (the minimum
+		// sample), not bucket 0 unconditionally.
+		need = 1
+	}
 	run := 0
 	for i, c := range h.buckets {
 		run += c

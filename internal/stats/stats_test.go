@@ -123,3 +123,22 @@ func TestAccExtremaAfterFirstSample(t *testing.T) {
 		t.Fatalf("extrema after second sample: min %f max %f", a.Min(), a.Max())
 	}
 }
+
+func TestHistogramQuantileZeroSkipsEmptyBuckets(t *testing.T) {
+	// Regression: Quantile(0) computed need=0 and returned bucket 0 even when
+	// bucket 0 was empty. The 0-quantile is the minimum sample.
+	h := NewHistogram(10)
+	h.Add(3)
+	h.Add(7)
+	if got := h.Quantile(0); got != 3 {
+		t.Fatalf("Quantile(0) = %d, want 3 (the minimum sample)", got)
+	}
+	// Tiny q must behave like the 0-quantile, not round down to nothing.
+	if got := h.Quantile(1e-12); got != 3 {
+		t.Fatalf("Quantile(1e-12) = %d, want 3", got)
+	}
+	// An empty histogram still answers 0 by convention.
+	if got := NewHistogram(4).Quantile(0); got != 0 {
+		t.Fatalf("empty Quantile(0) = %d", got)
+	}
+}

@@ -1,0 +1,268 @@
+// Streaming JSONL trace format. The one-document JSON format (Write/Read)
+// materializes the whole trace on both ends; million-request traces need a
+// representation that can be produced and consumed request by request. The
+// stream format is JSON Lines: a header object {"n":..,"d":..} followed by
+// one request record per line, in nondecreasing arrival-round order — the
+// same records as the document format, so both describe identical traces.
+// The arrival-order requirement is what makes single-pass segmentation
+// possible: a reader can cut the stream wherever an arrival round lies past
+// every earlier request's deadline, and hand each independent time segment
+// to the offline solver without ever holding more than one segment.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"iter"
+
+	"reqsched/internal/core"
+)
+
+// streamHeader is the first line of a JSONL trace stream.
+type streamHeader struct {
+	N int `json:"n"`
+	D int `json:"d"`
+}
+
+// StreamWriter emits a trace as JSONL without materializing it: the caller
+// adds requests one by one in nondecreasing arrival-round order.
+type StreamWriter struct {
+	enc   *json.Encoder
+	n, d  int
+	lastT int
+	count int
+}
+
+// NewStreamWriter writes the stream header for a trace over n resources with
+// default deadline window d and returns the writer.
+func NewStreamWriter(w io.Writer, n, d int) (*StreamWriter, error) {
+	if n < 1 || d < 1 {
+		return nil, fmt.Errorf("trace: invalid stream header n=%d d=%d", n, d)
+	}
+	sw := &StreamWriter{enc: json.NewEncoder(w), n: n, d: d}
+	if err := sw.enc.Encode(streamHeader{N: n, D: d}); err != nil {
+		return nil, fmt.Errorf("trace: stream header: %w", err)
+	}
+	return sw, nil
+}
+
+// Add appends one request arriving at round t with deadline window d (<= 0:
+// the stream default), weight w (<= 1: the default 1) and the given
+// alternatives. Arrival rounds must be nondecreasing — the property
+// single-pass readers and the Segments cutter rely on.
+func (sw *StreamWriter) Add(t, d, w int, alts ...int) error {
+	if t < sw.lastT {
+		return fmt.Errorf("trace: stream arrival at round %d after round %d", t, sw.lastT)
+	}
+	if err := checkRecord(sw.n, sw.count, t, d, alts); err != nil {
+		return err
+	}
+	sw.lastT = t
+	sw.count++
+	rec := fileRecord{T: t, Alts: alts}
+	if d > 0 && d != sw.d {
+		rec.D = d
+	}
+	if w > 1 {
+		rec.W = w
+	}
+	return sw.enc.Encode(rec)
+}
+
+// Count returns the number of requests written so far.
+func (sw *StreamWriter) Count() int { return sw.count }
+
+// WriteStream serializes an already materialized trace as JSONL — the
+// convenience path; generators that never build a Trace use StreamWriter
+// directly.
+func WriteStream(w io.Writer, tr *core.Trace) error {
+	sw, err := NewStreamWriter(w, tr.N, tr.D)
+	if err != nil {
+		return err
+	}
+	for _, r := range tr.Requests() {
+		if err := sw.Add(r.Arrive, r.D, r.Weight(), r.Alts...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkRecord validates one stream record against the header; index names the
+// record in errors.
+func checkRecord(n, index, t, d int, alts []int) error {
+	if t < 0 {
+		return fmt.Errorf("trace: stream request %d has negative arrival round %d", index, t)
+	}
+	if d < 0 {
+		return fmt.Errorf("trace: stream request %d has negative window %d", index, d)
+	}
+	if len(alts) < 1 {
+		return fmt.Errorf("trace: stream request %d has no alternatives", index)
+	}
+	for i, a := range alts {
+		if a < 0 || a >= n {
+			return fmt.Errorf("trace: stream request %d names resource %d outside [0,%d)", index, a, n)
+		}
+		for _, b := range alts[:i] {
+			if a == b {
+				return fmt.Errorf("trace: stream request %d repeats alternative %d", index, a)
+			}
+		}
+	}
+	return nil
+}
+
+// StreamRecord is one decoded request of a JSONL trace stream, rounds still
+// absolute. D and W are already resolved against the stream defaults.
+type StreamRecord struct {
+	// T is the arrival round; D the deadline window; W the weight.
+	T, D, W int
+	// Alts lists the alternative resources in preference order. The slice is
+	// owned by the caller (freshly decoded each record).
+	Alts []int
+}
+
+// Deadline returns the last round the request may be served in.
+func (r StreamRecord) Deadline() int { return r.T + r.D - 1 }
+
+// StreamReader decodes a JSONL trace stream record by record, validating each
+// against the header and the nondecreasing-arrival-order invariant.
+type StreamReader struct {
+	dec   *json.Decoder
+	n, d  int
+	index int
+	lastT int
+}
+
+// NewStreamReader reads and validates the stream header.
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
+	dec := json.NewDecoder(r)
+	var h streamHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("trace: stream header: %w", err)
+	}
+	if h.N < 1 || h.D < 1 {
+		return nil, fmt.Errorf("trace: invalid stream header n=%d d=%d", h.N, h.D)
+	}
+	return &StreamReader{dec: dec, n: h.N, d: h.D}, nil
+}
+
+// N returns the number of resources; D the default deadline window.
+func (sr *StreamReader) N() int { return sr.n }
+func (sr *StreamReader) D() int { return sr.d }
+
+// Count returns the number of records decoded so far.
+func (sr *StreamReader) Count() int { return sr.index }
+
+// Next decodes and validates the next record. It returns io.EOF after the
+// last record.
+func (sr *StreamReader) Next() (StreamRecord, error) {
+	var rec fileRecord
+	if err := sr.dec.Decode(&rec); err != nil {
+		if err == io.EOF {
+			return StreamRecord{}, io.EOF
+		}
+		return StreamRecord{}, fmt.Errorf("trace: stream request %d: %w", sr.index, err)
+	}
+	if err := checkRecord(sr.n, sr.index, rec.T, rec.D, rec.Alts); err != nil {
+		return StreamRecord{}, err
+	}
+	if rec.T < sr.lastT {
+		return StreamRecord{}, fmt.Errorf("trace: stream request %d at round %d after round %d", sr.index, rec.T, sr.lastT)
+	}
+	sr.lastT = rec.T
+	sr.index++
+	out := StreamRecord{T: rec.T, D: rec.D, W: rec.W, Alts: rec.Alts}
+	if out.D == 0 {
+		out.D = sr.d
+	}
+	if out.W < 1 {
+		out.W = 1
+	}
+	return out, nil
+}
+
+// ReadStream materializes a whole JSONL stream as a validated trace — the
+// convenience inverse of WriteStream, for streams known to fit in memory.
+func ReadStream(r io.Reader) (*core.Trace, error) {
+	sr, err := NewStreamReader(r)
+	if err != nil {
+		return nil, err
+	}
+	b := core.NewBuilder(sr.N(), sr.D())
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		id := b.AddWindow(rec.T, rec.D, rec.Alts...)
+		if rec.W > 1 {
+			b.SetWeight(id, rec.W)
+		}
+	}
+	tr := b.Build()
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Segments iterates over the independent time segments of a JSONL trace
+// stream without ever materializing more than one segment: the stream is cut
+// before every record whose arrival round is past the deadline of every
+// request read so far (the same clean-cut rule as offline.SegmentTrace).
+// Each yielded sub-trace has its rounds shifted to start at 0 and its own
+// request IDs from 0; segment optima therefore sum to the whole trace's
+// optimum. A header or record error is yielded once as (nil, err) and ends
+// the iteration.
+func Segments(r io.Reader) iter.Seq2[*core.Trace, error] {
+	return func(yield func(*core.Trace, error) bool) {
+		sr, err := NewStreamReader(r)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		b := core.NewBuilder(sr.N(), sr.D())
+		count, lo, maxDL := 0, 0, -1
+		flush := func() bool {
+			tr := b.Build()
+			b = core.NewBuilder(sr.N(), sr.D())
+			count = 0
+			return yield(tr, nil)
+		}
+		for {
+			rec, err := sr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if count > 0 && rec.T > maxDL {
+				if !flush() {
+					return
+				}
+			}
+			if count == 0 {
+				lo = rec.T
+			}
+			id := b.AddWindow(rec.T-lo, rec.D, rec.Alts...)
+			if rec.W > 1 {
+				b.SetWeight(id, rec.W)
+			}
+			count++
+			if dl := rec.Deadline(); dl > maxDL {
+				maxDL = dl
+			}
+		}
+		if count > 0 {
+			flush()
+		}
+	}
+}

@@ -31,6 +31,7 @@ package reqsched
 
 import (
 	"io"
+	"iter"
 
 	"reqsched/internal/adversary"
 	"reqsched/internal/core"
@@ -109,6 +110,33 @@ func ValidateLog(tr *Trace, log []Fulfillment) error { return core.ValidateLog(t
 
 // Optimum returns the number of requests an optimal offline algorithm serves.
 func Optimum(tr *Trace) int { return offline.Optimum(tr) }
+
+// OptimumParallel returns exactly Optimum(tr), computed by decomposing the
+// trace into independent segments (clean time cuts, with a union-find
+// connected-components fallback) and solving each with Hopcroft–Karp on a
+// worker pool (workers <= 0: GOMAXPROCS). Peak memory is proportional to the
+// largest segment rather than the horizon.
+func OptimumParallel(tr *Trace, workers int) int { return offline.OptimumParallel(tr, workers) }
+
+// TraceSegmentCount returns how many independent pieces OptimumParallel
+// decomposes tr into (time segments, or slot-graph components when the trace
+// has no clean time cut).
+func TraceSegmentCount(tr *Trace) int {
+	segs := offline.SegmentTrace(tr)
+	if len(segs) <= 1 {
+		segs = offline.Components(tr)
+	}
+	return len(segs)
+}
+
+// OptimumStream sums the offline optimum over a stream of independent
+// sub-traces (e.g. TraceSegments over a JSONL stream) on a worker pool,
+// holding at most workers+1 segments in memory — the bounded-memory
+// evaluation path for traces too large to materialize. It returns the total
+// optimum and the number of segments consumed.
+func OptimumStream(segments iter.Seq2[*Trace, error], workers int) (opt, nsegs int, err error) {
+	return offline.OptimumStream(segments, workers)
+}
 
 // OptimumSchedule returns one optimal offline schedule.
 func OptimumSchedule(tr *Trace) []Fulfillment { return offline.OptimumSchedule(tr) }
@@ -291,6 +319,14 @@ func Summarize(mk func() Strategy, gen func(seed int64) *Trace, seeds int) *Rati
 	return ratio.Summarize(func() core.Strategy { return mk() }, gen, seeds)
 }
 
+// SummarizeParallel is Summarize on a worker pool (workers <= 0: GOMAXPROCS).
+// Results are folded strictly in seed order, so the summary is bit-identical
+// to Summarize for every worker count. A panicking seed surfaces as a
+// *MeasureJobPanic naming it.
+func SummarizeParallel(mk func() Strategy, gen func(seed int64) *Trace, seeds, workers int) (*RatioSummary, error) {
+	return ratio.SummarizeParallel(func() core.Strategy { return mk() }, gen, seeds, workers)
+}
+
 // AdversaryUniversalAnyD is the Theorem 2.6 remark variant for deadlines not
 // divisible by three (>= 12/11 for every d >= 4).
 func AdversaryUniversalAnyD(d, cycles int) Construction {
@@ -368,6 +404,38 @@ func WriteTrace(w io.Writer, tr *Trace) error { return trace.Write(w, tr) }
 
 // ReadTrace deserializes and validates a trace.
 func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
+
+// WriteTraceStream serializes tr as JSONL (header line plus one request per
+// line, in arrival order) — the streaming format for traces too large to hold
+// as one JSON document. Generators that never materialize a Trace use
+// TraceStreamWriter directly.
+func WriteTraceStream(w io.Writer, tr *Trace) error { return trace.WriteStream(w, tr) }
+
+// ReadTraceStream materializes a whole JSONL stream as a validated trace.
+func ReadTraceStream(r io.Reader) (*Trace, error) { return trace.ReadStream(r) }
+
+// TraceStreamWriter emits a JSONL trace request by request; TraceStreamReader
+// decodes one record by record.
+type (
+	TraceStreamWriter = trace.StreamWriter
+	TraceStreamReader = trace.StreamReader
+)
+
+// NewTraceStreamWriter writes the JSONL header for a trace over n resources
+// with default window d and returns the writer.
+func NewTraceStreamWriter(w io.Writer, n, d int) (*TraceStreamWriter, error) {
+	return trace.NewStreamWriter(w, n, d)
+}
+
+// NewTraceStreamReader reads and validates the JSONL header.
+func NewTraceStreamReader(r io.Reader) (*TraceStreamReader, error) {
+	return trace.NewStreamReader(r)
+}
+
+// TraceSegments iterates over the independent time segments of a JSONL trace
+// stream without materializing more than one segment; segment optima sum to
+// the whole trace's optimum (feed it to OptimumStream).
+func TraceSegments(r io.Reader) iter.Seq2[*Trace, error] { return trace.Segments(r) }
 
 // SummarizeTrace computes summary statistics for tr.
 func SummarizeTrace(tr *Trace) TraceStats { return trace.Summarize(tr) }

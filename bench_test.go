@@ -225,6 +225,14 @@ func BenchmarkEngineAllocs(b *testing.B) {
 			}
 		})
 	}
+	// The offline EDF baseline shares the regression class: its served set is
+	// a dense bitmap, so allocs/op must stay flat in the round count.
+	b.Run("EarliestDeadlineSchedule", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			reqsched.EarliestDeadlineSchedule(tr)
+		}
+	})
 }
 
 // BenchmarkOptimumParallel measures the segmented offline solver against the
@@ -250,6 +258,35 @@ func BenchmarkOptimumParallel(b *testing.B) {
 			}
 			if got != want {
 				b.Fatalf("OptimumParallel = %d, Optimum = %d", got, want)
+			}
+			b.ReportMetric(float64(reqsched.TraceSegmentCount(tr)), "segments")
+		})
+	}
+}
+
+// BenchmarkMaxProfitParallel measures the segmented weighted solver against
+// the monolithic min-cost-flow one on a gapped weighted workload — the
+// BENCH_engine.json weighted section is regenerated from cmd/bench, which
+// mirrors this setup at the 10^5-request scale.
+func BenchmarkMaxProfitParallel(b *testing.B) {
+	tr := reqsched.WithWeights(reqsched.Bursty(reqsched.WorkloadConfig{
+		N: 16, D: 4, Rounds: 600, Rate: 0, Seed: 5,
+	}, 4, 8, 20), 8, 5)
+	want := reqsched.MaxProfit(tr)
+	b.Run("monolithic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reqsched.MaxProfit(tr)
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("segmented/workers=%d", workers), func(b *testing.B) {
+			var got int
+			for i := 0; i < b.N; i++ {
+				got = reqsched.MaxProfitParallel(tr, workers)
+			}
+			if got != want {
+				b.Fatalf("MaxProfitParallel = %d, MaxProfit = %d", got, want)
 			}
 			b.ReportMetric(float64(reqsched.TraceSegmentCount(tr)), "segments")
 		})

@@ -65,6 +65,37 @@ type Offline struct {
 	Entries      []OfflineEntry `json:"entries"`
 }
 
+// Weighted records the segmented weighted offline solvers (max profit,
+// min latency) against their monolithic min-cost-flow counterparts on a
+// gapped bursty trace with harmonic request weights. The monolithic solvers
+// run successive shortest paths over the whole graph and scale superlinearly
+// in the trace, so they are timed once (reps=1) and the min-latency pair runs
+// on a tenth of the profit workload to keep the harness bounded.
+type Weighted struct {
+	Workload struct {
+		N         int     `json:"n"`
+		D         int     `json:"d"`
+		Rounds    int     `json:"rounds"`
+		On        int     `json:"on"`
+		Off       int     `json:"off"`
+		BurstRate float64 `json:"burst_rate"`
+		Seed      int64   `json:"seed"`
+		MaxW      int     `json:"max_weight"`
+		Requests  int     `json:"requests"`
+	} `json:"workload"`
+	Segments   int `json:"segments"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// MaxProfit section: the weighted optimum and per-worker-count timings.
+	Profit             int            `json:"profit"`
+	ProfitMonolithicNs float64        `json:"profit_monolithic_ns_per_op"`
+	ProfitEntries      []OfflineEntry `json:"profit_entries"`
+	// MinLatency section, on a smaller slice of the same workload shape.
+	MinLatencyRequests     int            `json:"min_latency_requests"`
+	MinLatency             int            `json:"min_latency"`
+	MinLatencyMonolithicNs float64        `json:"min_latency_monolithic_ns_per_op"`
+	MinLatencyEntries      []OfflineEntry `json:"min_latency_entries"`
+}
+
 // Baseline is the file format of BENCH_engine.json.
 type Baseline struct {
 	Workload struct {
@@ -75,8 +106,9 @@ type Baseline struct {
 		Seed     int64   `json:"seed"`
 		Requests int     `json:"requests"`
 	} `json:"workload"`
-	Entries []Entry  `json:"entries"`
-	Offline *Offline `json:"offline,omitempty"`
+	Entries  []Entry   `json:"entries"`
+	Offline  *Offline  `json:"offline,omitempty"`
+	Weighted *Weighted `json:"weighted,omitempty"`
 }
 
 // timeIt returns the fastest of reps timed runs of f in nanoseconds.
@@ -141,10 +173,89 @@ func benchOffline(requests int) *Offline {
 	return &o
 }
 
+// weightedWorkload builds the gapped bursty weighted trace the weighted
+// benchmarks run on, sized to roughly `requests` requests.
+func weightedWorkload(requests int) (*reqsched.Trace, int) {
+	const (
+		n, d      = 16, 4
+		on, off   = 4, 8
+		burstRate = 50.0
+		seed      = 5
+		maxW      = 8
+	)
+	rounds := requests * (on + off) / (on * int(burstRate))
+	cfg := reqsched.WorkloadConfig{N: n, D: d, Rounds: rounds, Rate: 0, Seed: seed}
+	return reqsched.WithWeights(reqsched.Bursty(cfg, on, off, burstRate), maxW, seed), rounds
+}
+
+// benchWeighted measures the monolithic and segmented weighted offline
+// solvers on a multi-segment weighted trace of roughly `requests` requests.
+func benchWeighted(requests int) *Weighted {
+	tr, rounds := weightedWorkload(requests)
+
+	var wt Weighted
+	wt.Workload.N = tr.N
+	wt.Workload.D = tr.D
+	wt.Workload.Rounds = rounds
+	wt.Workload.On = 4
+	wt.Workload.Off = 8
+	wt.Workload.BurstRate = 50.0
+	wt.Workload.Seed = 5
+	wt.Workload.MaxW = 8
+	wt.Workload.Requests = tr.NumRequests()
+	wt.Segments = reqsched.TraceSegmentCount(tr)
+	wt.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	// Max profit. The monolithic successive-shortest-paths solver is
+	// superlinear in the trace (~40 min at 10^5 requests on one core), so one
+	// rep only.
+	want := 0
+	wt.ProfitMonolithicNs = timeIt(1, func() { want = reqsched.MaxProfit(tr) })
+	wt.Profit = want
+	fmt.Fprintf(os.Stderr, "weighted profit monolithic %14.0f ns/op\n", wt.ProfitMonolithicNs)
+	for _, workers := range []int{1, 2, 4, 8} {
+		var got int
+		ns := timeIt(3, func() { got = reqsched.MaxProfitParallel(tr, workers) })
+		if got != want {
+			fmt.Fprintf(os.Stderr, "BUG: MaxProfitParallel(workers=%d) = %d, MaxProfit = %d\n", workers, got, want)
+			os.Exit(1)
+		}
+		wt.ProfitEntries = append(wt.ProfitEntries, OfflineEntry{
+			Workers: workers, NsPerOp: ns, Speedup: wt.ProfitMonolithicNs / ns,
+		})
+		fmt.Fprintf(os.Stderr, "weighted profit workers=%d %14.0f ns/op  speedup %.2fx\n",
+			workers, ns, wt.ProfitMonolithicNs/ns)
+	}
+
+	// Min latency, same shape at a tenth of the size (its monolithic solver
+	// pushes every augmenting path, not just the profitable ones).
+	small, _ := weightedWorkload(requests / 10)
+	wt.MinLatencyRequests = small.NumRequests()
+	wantLat := 0
+	wt.MinLatencyMonolithicNs = timeIt(1, func() { _, wantLat = reqsched.OptimumMinLatency(small) })
+	wt.MinLatency = wantLat
+	fmt.Fprintf(os.Stderr, "weighted minlat monolithic %14.0f ns/op\n", wt.MinLatencyMonolithicNs)
+	for _, workers := range []int{1, 2, 4, 8} {
+		var gotLat int
+		ns := timeIt(3, func() { _, gotLat = reqsched.OptimumMinLatencyParallel(small, workers) })
+		if gotLat != wantLat {
+			fmt.Fprintf(os.Stderr, "BUG: OptimumMinLatencyParallel(workers=%d) = %d, OptimumMinLatency = %d\n", workers, gotLat, wantLat)
+			os.Exit(1)
+		}
+		wt.MinLatencyEntries = append(wt.MinLatencyEntries, OfflineEntry{
+			Workers: workers, NsPerOp: ns, Speedup: wt.MinLatencyMonolithicNs / ns,
+		})
+		fmt.Fprintf(os.Stderr, "weighted minlat workers=%d %14.0f ns/op  speedup %.2fx\n",
+			workers, ns, wt.MinLatencyMonolithicNs/ns)
+	}
+	return &wt
+}
+
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	benchtime := flag.Duration("benchtime", 0, "per-strategy benchmark time (default testing's 1s)")
 	offlineReqs := flag.Int("offline-requests", 1_000_000, "request count for the segmented-optimum benchmark (0 skips it)")
+	weightedReqs := flag.Int("weighted-requests", 100_000, "request count for the weighted-optima benchmark (0 skips it; the monolithic reference is superlinear — ~40 min at the default size)")
 	flag.Parse()
 	if *benchtime > 0 {
 		// testing.Benchmark honours the -test.benchtime flag.
@@ -201,6 +312,9 @@ func main() {
 
 	if *offlineReqs > 0 {
 		base.Offline = benchOffline(*offlineReqs)
+	}
+	if *weightedReqs > 0 {
+		base.Weighted = benchWeighted(*weightedReqs)
 	}
 
 	w := os.Stdout

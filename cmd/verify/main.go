@@ -133,11 +133,67 @@ func main() {
 	add("segmented OPT: random traces", mismatches == 0,
 		"%d/%d random workloads mismatched", mismatches, trials)
 
+	// 4b. The weighted segmented solvers agree with their monolithic
+	// counterparts: identical max profit and identical minimum latency on
+	// weighted variants of the oblivious adversary traces and a batch of
+	// random weighted workloads. The monolithic weighted solvers are
+	// superquadratic, so the largest row trace (A_balance k=64, ~35k
+	// requests) is skipped here; the offline package's property tests and
+	// cmd/bench cover the weighted solvers at scale.
+	for _, r := range rows {
+		tr := r.build().Trace
+		if tr == nil || tr.NumRequests() > 5000 {
+			continue
+		}
+		wtr := reqsched.WithWeights(tr, 8, 77)
+		wantP := reqsched.MaxProfit(wtr)
+		gotP := reqsched.MaxProfitParallel(wtr, *workers)
+		add("segmented profit: "+r.name, gotP == wantP,
+			"parallel %d vs monolithic %d", gotP, wantP)
+		_, wantL := reqsched.OptimumMinLatency(wtr)
+		logP, gotL := reqsched.OptimumMinLatencyParallel(wtr, *workers)
+		add("segmented min latency: "+r.name,
+			gotL == wantL && reqsched.ValidateLog(wtr, logP) == nil,
+			"parallel %d vs monolithic %d (schedule of %d valid=%v)",
+			gotL, wantL, len(logP), reqsched.ValidateLog(wtr, logP) == nil)
+	}
+	wMismatches, wTrials := 0, 25
+	for i := 0; i < wTrials; i++ {
+		cfg := reqsched.WorkloadConfig{
+			N: 2 + rng.Intn(6), D: 1 + rng.Intn(4), Rounds: 15 + rng.Intn(40),
+			Rate: rng.Float64() * 8, Seed: rng.Int63(),
+		}
+		var tr *reqsched.Trace
+		if i%2 == 0 {
+			tr = reqsched.Uniform(cfg)
+		} else {
+			r := cfg.Rate
+			cfg.Rate = 0
+			tr = reqsched.Bursty(cfg, 3, 2+rng.Intn(5), r)
+		}
+		wtr := reqsched.WithWeights(tr, 1+rng.Intn(9), rng.Int63())
+		_, wantL := reqsched.OptimumMinLatency(wtr)
+		_, gotL := reqsched.OptimumMinLatencyParallel(wtr, *workers)
+		if reqsched.MaxProfitParallel(wtr, *workers) != reqsched.MaxProfit(wtr) || gotL != wantL {
+			wMismatches++
+		}
+	}
+	add("segmented weighted: random traces", wMismatches == 0,
+		"%d/%d random weighted workloads mismatched", wMismatches, wTrials)
+
+	// 4c. The streamed adaptive pipeline reproduces the materialized adaptive
+	// measurement on the Theorem 2.6 adversary.
+	wantAd := reqsched.MeasureConstruction(reqsched.AdversaryUniversal(6, 40), reqsched.NewABalance())
+	gotAd, nsegs := reqsched.MeasureAdaptiveStream(reqsched.NewABalance(), reqsched.AdversaryUniversal(6, 40).Source, *workers)
+	add("adaptive stream OPT", gotAd.OPT == wantAd.OPT && gotAd.ALG == wantAd.ALG,
+		"stream OPT/ALG %d/%d vs post-hoc %d/%d (%d segments)",
+		gotAd.OPT, gotAd.ALG, wantAd.OPT, wantAd.ALG, nsegs)
+
 	// 5. Optional toolchain gates.
 	if *tools {
 		cmds := [][]string{
 			{"go", "vet", "./..."},
-			{"go", "test", "-race", "./internal/offline", "./internal/experiment"},
+			{"go", "test", "-race", "./internal/offline", "./internal/ratio", "./internal/experiment"},
 		}
 		for _, args := range cmds {
 			cmd := exec.Command(args[0], args[1:]...)

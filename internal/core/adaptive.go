@@ -23,10 +23,16 @@ type AdaptiveSource interface {
 	Done(t int) bool
 }
 
-// RunAdaptive simulates strategy s against an adaptive adversary and returns
-// the result together with the trace the adversary ended up generating (for
-// computing the offline optimum afterwards).
-func RunAdaptive(s Strategy, src AdaptiveSource) (*Result, *Trace) {
+// RunAdaptiveObserved simulates strategy s against an adaptive adversary,
+// handing each round's generated arrivals to observe as they are produced —
+// the bounded-memory primitive under RunAdaptive and the adaptive streaming
+// pipeline. observe is called once per simulated round with the round number
+// and that round's freshly allocated request row (nil when none arrive); the
+// row is never reused, so the observer may retain it. An observer that
+// returns false aborts the run: the returned ok is false and the Result is
+// partial. Request IDs are assigned sequentially in injection order; served
+// tracking is a dense bitmap grown in step with them.
+func RunAdaptiveObserved(s Strategy, src AdaptiveSource, observe func(t int, arrivals []Request) bool) (res *Result, ok bool) {
 	n, d := src.N(), src.D()
 	if n < 1 || d < 1 {
 		panic(fmt.Sprintf("core: adaptive source with n=%d d=%d", n, d))
@@ -34,22 +40,20 @@ func RunAdaptive(s Strategy, src AdaptiveSource) (*Result, *Trace) {
 	w := NewWindow(n, d)
 	s.Begin(n, d)
 
-	tr := &Trace{N: n, D: d}
-	res := &Result{
+	res = &Result{
 		Strategy:    s.Name(),
 		N:           n,
 		D:           d,
 		PerResource: make([]int, n),
 	}
-	served := make(map[int]bool)
-	isServed := func(id int) bool { return served[id] }
+	var served []bool // indexed by sequentially assigned request ID
+	isServed := func(id int) bool { return id < len(served) && served[id] }
 
 	var (
 		pending  []*Request
 		arrivals []*Request // reused across rounds; see RoundContext.Arrivals
 		ctx      RoundContext
 	)
-	servedNow := make(map[int]bool, n)
 	nextID := 0
 	injectionOver := false
 	drainUntil := 0
@@ -68,14 +72,13 @@ func RunAdaptive(s Strategy, src AdaptiveSource) (*Result, *Trace) {
 
 		// Inject.
 		arrivals = arrivals[:0]
+		var row []Request
 		if !injectionOver {
 			if src.Done(t) {
 				injectionOver = true
 				drainUntil = t + d
-			} else {
-				specs := src.Next(t, isServed)
-				tr.Arrivals = append(tr.Arrivals, make([]Request, len(specs)))
-				row := tr.Arrivals[t]
+			} else if specs := src.Next(t, isServed); len(specs) > 0 {
+				row = make([]Request, len(specs))
 				for i, alts := range specs {
 					row[i] = Request{
 						ID:     nextID,
@@ -84,13 +87,14 @@ func RunAdaptive(s Strategy, src AdaptiveSource) (*Result, *Trace) {
 						D:      d,
 					}
 					nextID++
+					served = append(served, false)
 					arrivals = append(arrivals, &row[i])
 					res.Requests++
 				}
 			}
 		}
-		if injectionOver {
-			tr.Arrivals = append(tr.Arrivals, nil)
+		if !observe(t, row) {
+			return res, false
 		}
 
 		pending = append(pending, arrivals...)
@@ -104,7 +108,7 @@ func RunAdaptive(s Strategy, src AdaptiveSource) (*Result, *Trace) {
 		ctx.W = w
 		s.Round(&ctx)
 
-		clear(servedNow)
+		servedNow := 0
 		for i := 0; i < n; i++ {
 			r := w.At(i, t)
 			if r == nil {
@@ -112,17 +116,19 @@ func RunAdaptive(s Strategy, src AdaptiveSource) (*Result, *Trace) {
 			}
 			w.Unassign(r)
 			served[r.ID] = true
-			servedNow[r.ID] = true
+			servedNow++
 			res.Fulfilled++
 			res.WeightFulfilled += r.Weight()
 			res.LatencySum += t - r.Arrive
 			res.PerResource[i]++
 			res.Log = append(res.Log, Fulfillment{Req: r, Res: i, Round: t})
 		}
-		if len(servedNow) > 0 {
+		if servedNow > 0 {
+			// pending holds only requests unserved before this round, so the
+			// dense bitmap alone identifies this round's departures.
 			live := pending[:0]
 			for _, r := range pending {
-				if !servedNow[r.ID] {
+				if !served[r.ID] {
 					live = append(live, r)
 				}
 			}
@@ -135,12 +141,26 @@ func RunAdaptive(s Strategy, src AdaptiveSource) (*Result, *Trace) {
 		}
 	}
 	res.Expired += len(pending)
+	if ca, ok := s.(CommAccountant); ok {
+		res.CommRounds, res.Messages = ca.CommTotals()
+	}
+	return res, true
+}
+
+// RunAdaptive simulates strategy s against an adaptive adversary and returns
+// the result together with the trace the adversary ended up generating (for
+// computing the offline optimum afterwards). Callers that cannot afford the
+// materialized trace stream segments through RunAdaptiveObserved instead
+// (ratio.MeasureAdaptiveStream).
+func RunAdaptive(s Strategy, src AdaptiveSource) (*Result, *Trace) {
+	tr := &Trace{N: src.N(), D: src.D()}
+	res, _ := RunAdaptiveObserved(s, src, func(t int, arrivals []Request) bool {
+		tr.Arrivals = append(tr.Arrivals, arrivals)
+		return true
+	})
 	// Trim trailing empty rounds so Trace.Horizon is tight.
 	for len(tr.Arrivals) > 0 && len(tr.Arrivals[len(tr.Arrivals)-1]) == 0 {
 		tr.Arrivals = tr.Arrivals[:len(tr.Arrivals)-1]
-	}
-	if ca, ok := s.(CommAccountant); ok {
-		res.CommRounds, res.Messages = ca.CommTotals()
 	}
 	return res, tr
 }

@@ -108,13 +108,27 @@ func (f *CostFlowNetwork) MinCostMaxFlow(s, t int) (flow int, cost int64) {
 // the solver maximizes cardinality first and minimizes cost second — exactly
 // the "among maximum matchings prefer cheap slots" shape the strategies need.
 func MinCostMatching(g *Graph, rightCost []int64) *Matching {
+	return MinCostMatchingLR(g, nil, rightCost)
+}
+
+// MinCostMatchingLR generalizes MinCostMatching to costs on both sides: among
+// maximum matchings it minimizes the sum of leftCost[l] + rightCost[r] over
+// matched pairs (l, r). A nil leftCost means all zeros. Left costs may be
+// negative (the initial residual network is acyclic, so successive shortest
+// paths remain correct); this is what lets the min-latency objective charge
+// each pair its true latency t − arrive instead of the slot round alone.
+func MinCostMatchingLR(g *Graph, leftCost, rightCost []int64) *Matching {
 	nl, nr := g.NLeft(), g.NRight()
 	s := nl + nr
 	t := s + 1
 	f := NewCostFlowNetwork(nl + nr + 2)
 	edgeOf := make([][]int, nl)
 	for l := 0; l < nl; l++ {
-		f.AddEdge(s, l, 1, 0)
+		lc := int64(0)
+		if leftCost != nil {
+			lc = leftCost[l]
+		}
+		f.AddEdge(s, l, 1, lc)
 		edgeOf[l] = make([]int, len(g.Adj(l)))
 		for i, r := range g.Adj(l) {
 			edgeOf[l][i] = f.AddEdge(l, nl+int(r), 1, 0)

@@ -72,19 +72,27 @@ func OptimumByFlow(tr *core.Trace) int {
 
 // OptimumMinLatency returns an optimal offline schedule that, among all
 // maximum-cardinality schedules, minimizes the total service latency (sum of
-// service round minus arrival round), computed by min-cost max-flow with the
-// slot round as cost. Useful as the latency baseline for the examples: the
-// online strategies' mean latency can be compared against the best any
-// schedule of maximum throughput could do.
+// service round minus arrival round), computed by min-cost max-flow charging
+// each matched pair its true latency: −arrive on the request side, the slot
+// round on the slot side. Charging both sides makes the minimized value the
+// latency itself — well-defined however ties between equally cheap schedules
+// break, which is what lets OptimumMinLatencyParallel pin against it exactly.
+// Useful as the latency baseline for the examples: the online strategies'
+// mean latency can be compared against the best any schedule of maximum
+// throughput could do.
 func OptimumMinLatency(tr *core.Trace) ([]core.Fulfillment, int) {
 	g := BuildGraph(tr)
+	reqs := tr.Requests()
+	arrive := make([]int64, len(reqs))
+	for i, r := range reqs {
+		arrive[i] = -int64(r.Arrive)
+	}
 	costs := make([]int64, g.NRight())
 	for idx := range costs {
 		_, t := SlotOf(tr.N, idx)
 		costs[idx] = int64(t)
 	}
-	m := matching.MinCostMatching(g, costs)
-	reqs := tr.Requests()
+	m := matching.MinCostMatchingLR(g, arrive, costs)
 	var log []core.Fulfillment
 	latency := 0
 	for l, r := range m.L2R {
@@ -124,9 +132,11 @@ func MaxProfit(tr *core.Trace) int {
 // this round is skipped by higher-indexed ones.
 func EarliestDeadlineSchedule(tr *core.Trace) int {
 	horizon := tr.Horizon()
-	// perResource[i] holds live request pointers naming resource i.
+	// perResource[i] holds live request pointers naming resource i. Request
+	// IDs are dense (0..NumRequests-1), so served is a flat bitmap rather
+	// than a map — the same alloc-regression class the engine scratch fixed.
 	perResource := make([][]*core.Request, tr.N)
-	served := make(map[int]bool)
+	served := make([]bool, tr.NumRequests())
 	fulfilled := 0
 	for t := 0; t < horizon; t++ {
 		if t < len(tr.Arrivals) {

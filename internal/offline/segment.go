@@ -11,6 +11,7 @@ package offline
 import (
 	"iter"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -123,19 +124,41 @@ func Components(tr *core.Trace) []Segment {
 	return segs
 }
 
-// solveSegment computes the maximum matching cardinality of one segment with
-// Hopcroft–Karp on caller-owned scratch. Right vertices are the segment's
-// slots: remapped arithmetically into the [Lo, Hi] × n rectangle when the
-// segment covers it densely, or through first-seen compact numbering when the
-// segment is sparse in its span (union-find components interleaved with
-// others), so a component never pays for rounds it does not touch. The
-// cardinality of a maximum matching does not depend on the remapping or the
-// edge order, so the sum over segments equals Optimum exactly.
-func solveSegment(n int, seg Segment, g *matching.Graph, m *matching.Matching, sc *matching.Scratch, slotIDs map[int]int32) int {
+// segSolver is the per-worker scratch of the segmented solvers: the graph,
+// matching and matching.Scratch reused across every segment a worker claims,
+// plus the buffers the weighted objectives need (per-request profits, per-slot
+// absolute coordinates). Buffers grow monotonically to the largest segment
+// seen, so steady-state allocation is per worker, not per segment. A segSolver
+// is not safe for concurrent use — give each goroutine its own.
+type segSolver struct {
+	g       matching.Graph
+	m       matching.Matching
+	sc      matching.Scratch
+	slotIDs map[int]int32
+	profit  []int64 // per-left-vertex weights (MaxProfit) or -arrive (min-latency)
+	cost    []int64 // per-right-vertex absolute slot round (min-latency)
+	absRes  []int32 // per-right-vertex absolute resource index
+	absT    []int32 // per-right-vertex absolute round
+}
+
+func newSegSolver() *segSolver { return &segSolver{slotIDs: make(map[int]int32)} }
+
+// build constructs the segment's bipartite graph into the solver's reusable
+// storage. Right vertices are the segment's slots: remapped arithmetically
+// into the [Lo, Hi] × n rectangle when the segment covers it densely, or
+// through first-seen compact numbering when the segment is sparse in its span
+// (union-find components interleaved with others), so a component never pays
+// for rounds it does not touch. When slotMeta is set, absRes/absT record each
+// right vertex's absolute (resource, round) coordinates — the inverse mapping
+// the min-latency objective needs for costs and fulfillment logs. Objective
+// values (cardinality, profit, min latency) do not depend on the remapping or
+// the edge order, so sums over segments equal the monolithic solvers exactly.
+func (ss *segSolver) build(n int, seg Segment, slotMeta bool) {
 	edges := 0
 	for _, r := range seg.Reqs {
 		edges += len(r.Alts) * (r.Deadline() - r.Arrive + 1)
 	}
+	g := &ss.g
 	if rect := (seg.Hi - seg.Lo + 1) * n; rect <= 4*edges {
 		g.Reset(len(seg.Reqs), rect)
 		for l, r := range seg.Reqs {
@@ -146,55 +169,179 @@ func solveSegment(n int, seg Segment, g *matching.Graph, m *matching.Matching, s
 				}
 			}
 		}
+		if slotMeta {
+			ss.absRes = growInt32(ss.absRes, rect)
+			ss.absT = growInt32(ss.absT, rect)
+			for idx := 0; idx < rect; idx++ {
+				ss.absRes[idx] = int32(idx % n)
+				ss.absT[idx] = int32(seg.Lo + idx/n)
+			}
+		}
 	} else {
-		clear(slotIDs)
+		clear(ss.slotIDs)
 		nRight := 0
 		for _, r := range seg.Reqs {
 			lo, hi := r.Arrive, r.Deadline()
 			for _, a := range r.Alts {
 				for t := lo; t <= hi; t++ {
 					s := SlotIndex(n, a, t)
-					if _, ok := slotIDs[s]; !ok {
-						slotIDs[s] = int32(nRight)
+					if _, ok := ss.slotIDs[s]; !ok {
+						ss.slotIDs[s] = int32(nRight)
 						nRight++
 					}
 				}
 			}
 		}
 		g.Reset(len(seg.Reqs), nRight)
+		if slotMeta {
+			ss.absRes = growInt32(ss.absRes, nRight)
+			ss.absT = growInt32(ss.absT, nRight)
+		}
 		for l, r := range seg.Reqs {
 			lo, hi := r.Arrive, r.Deadline()
 			for _, a := range r.Alts {
 				for t := lo; t <= hi; t++ {
-					g.AddEdge(l, int(slotIDs[SlotIndex(n, a, t)]))
+					idx := ss.slotIDs[SlotIndex(n, a, t)]
+					g.AddEdge(l, int(idx))
+					if slotMeta {
+						ss.absRes[idx] = int32(a)
+						ss.absT[idx] = int32(t)
+					}
 				}
 			}
 		}
 	}
-	m.Reset(g.NLeft(), g.NRight())
-	sc.HopcroftKarpExtend(g, m)
-	return m.Size()
+}
+
+// growInt32 returns s with length at least n, reusing capacity.
+func growInt32(s []int32, n int) []int32 {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+// growInt64 returns s with length at least n, reusing capacity.
+func growInt64(s []int64, n int) []int64 {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	return make([]int64, n)
+}
+
+// cardinality computes the maximum matching cardinality of one segment with
+// Hopcroft–Karp — the unweighted offline optimum of the piece.
+func (ss *segSolver) cardinality(n int, seg Segment) int64 {
+	ss.build(n, seg, false)
+	ss.m.Reset(ss.g.NLeft(), ss.g.NRight())
+	ss.sc.HopcroftKarpExtend(&ss.g, &ss.m)
+	return int64(ss.m.Size())
+}
+
+// maxProfit computes the maximum total weight an offline schedule can serve
+// within one segment (the weighted objective's optimum for the piece).
+func (ss *segSolver) maxProfit(n int, seg Segment) int64 {
+	ss.build(n, seg, false)
+	ss.profit = growInt64(ss.profit, len(seg.Reqs))
+	for i, r := range seg.Reqs {
+		ss.profit[i] = int64(r.Weight())
+	}
+	m := matching.MaxProfitMatching(&ss.g, ss.profit[:len(seg.Reqs)])
+	return matching.ProfitOf(m, ss.profit[:len(seg.Reqs)])
+}
+
+// minLatency computes a maximum-cardinality schedule of one segment that
+// minimizes total service latency (sum of service round minus arrival round),
+// appending its fulfillments — in absolute rounds — to log. It returns the
+// extended log and the segment's latency. The minimum latency of a segment is
+// a well-defined optimum value, so the sum over independent segments equals
+// the monolithic OptimumMinLatency latency exactly, whichever of the equally
+// cheap schedules either solver picks.
+func (ss *segSolver) minLatency(n int, seg Segment, log []core.Fulfillment) ([]core.Fulfillment, int64) {
+	ss.build(n, seg, true)
+	nl, nr := ss.g.NLeft(), ss.g.NRight()
+	ss.profit = growInt64(ss.profit, nl)
+	for i, r := range seg.Reqs {
+		ss.profit[i] = -int64(r.Arrive)
+	}
+	ss.cost = growInt64(ss.cost, nr)
+	for idx := 0; idx < nr; idx++ {
+		ss.cost[idx] = int64(ss.absT[idx])
+	}
+	m := matching.MinCostMatchingLR(&ss.g, ss.profit[:nl], ss.cost[:nr])
+	latency := int64(0)
+	for l, r := range m.L2R {
+		if r == matching.None {
+			continue
+		}
+		req := seg.Reqs[l]
+		t := int(ss.absT[r])
+		log = append(log, core.Fulfillment{Req: req, Res: int(ss.absRes[r]), Round: t})
+		latency += int64(t - req.Arrive)
+	}
+	return log, latency
+}
+
+// segments decomposes tr into independent pieces: clean time cuts, falling
+// back to union-find connected components when no cut exists.
+func segments(tr *core.Trace) []Segment {
+	segs := SegmentTrace(tr)
+	if len(segs) <= 1 {
+		segs = Components(tr)
+	}
+	return segs
 }
 
 // OptimumParallel returns exactly Optimum(tr), computed by decomposing the
 // trace into independent segments (clean time cuts, falling back to
 // union-find connected components when no cut exists) and solving each with
-// Hopcroft–Karp on a worker pool. Each worker owns its graph, matching and
-// matching.Scratch, so steady-state allocation is per worker, not per
-// segment, and peak memory is proportional to the largest segment rather than
-// the horizon. workers <= 0 means GOMAXPROCS.
+// Hopcroft–Karp on a worker pool. Each worker owns its segSolver scratch, so
+// steady-state allocation is per worker, not per segment, and peak memory is
+// proportional to the largest segment rather than the horizon. workers <= 0
+// means GOMAXPROCS.
 func OptimumParallel(tr *core.Trace, workers int) int {
-	segs := SegmentTrace(tr)
-	if len(segs) <= 1 {
-		segs = Components(tr)
-	}
-	return solveSegments(tr.N, segs, workers)
+	return int(sumSegments(tr.N, segments(tr), workers, (*segSolver).cardinality))
 }
 
-// solveSegments sums the per-segment optima over a worker pool. Workers claim
-// segments through an atomic cursor; the sum is order-independent, so the
-// result is deterministic regardless of scheduling.
-func solveSegments(n int, segs []Segment, workers int) int {
+// MaxProfitParallel returns exactly MaxProfit(tr) — the weighted offline
+// optimum — by solving independent segments on a worker pool. Matchings of
+// any objective decompose exactly over connected components (no augmenting or
+// profit-improving path crosses between them), so the per-segment int64
+// profit folds sum to the monolithic value.
+func MaxProfitParallel(tr *core.Trace, workers int) int {
+	return int(sumSegments(tr.N, segments(tr), workers, (*segSolver).maxProfit))
+}
+
+// OptimumMinLatencyParallel returns a schedule with OptimumMinLatency's exact
+// guarantees — maximum cardinality, minimum total latency — computed per
+// segment on a worker pool. Per-segment fulfillment logs (already in absolute
+// rounds) are stitched back in request-ID order; the latency total equals the
+// monolithic solver's exactly, though the two may pick different equally
+// cheap schedules.
+func OptimumMinLatencyParallel(tr *core.Trace, workers int) ([]core.Fulfillment, int) {
+	segs := segments(tr)
+	type piece struct {
+		log     []core.Fulfillment
+		latency int64
+	}
+	pieces := mapSegments(tr.N, segs, workers, func(ss *segSolver, n int, seg Segment) piece {
+		log, latency := ss.minLatency(n, seg, nil)
+		return piece{log, latency}
+	})
+	var log []core.Fulfillment
+	latency := int64(0)
+	for _, p := range pieces {
+		log = append(log, p.log...)
+		latency += p.latency
+	}
+	sort.Slice(log, func(i, j int) bool { return log[i].Req.ID < log[j].Req.ID })
+	return log, int(latency)
+}
+
+// sumSegments folds a per-segment int64 objective over a worker pool. The sum
+// is order-independent, so the result is deterministic regardless of
+// scheduling.
+func sumSegments(n int, segs []Segment, workers int, solve func(*segSolver, int, Segment) int64) int64 {
 	if len(segs) == 0 {
 		return 0
 	}
@@ -205,15 +352,10 @@ func solveSegments(n int, segs []Segment, workers int) int {
 		workers = len(segs)
 	}
 	if workers <= 1 {
-		var (
-			g       matching.Graph
-			m       matching.Matching
-			sc      matching.Scratch
-			slotIDs = make(map[int]int32)
-		)
-		total := 0
+		ss := newSegSolver()
+		total := int64(0)
 		for _, seg := range segs {
-			total += solveSegment(n, seg, &g, &m, &sc, slotIDs)
+			total += solve(ss, n, seg)
 		}
 		return total
 	}
@@ -226,59 +368,95 @@ func solveSegments(n int, segs []Segment, workers int) int {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var (
-				g       matching.Graph
-				m       matching.Matching
-				sc      matching.Scratch
-				slotIDs = make(map[int]int32)
-			)
-			sum := 0
+			ss := newSegSolver()
+			sum := int64(0)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(segs) {
 					break
 				}
-				sum += solveSegment(n, segs[i], &g, &m, &sc, slotIDs)
+				sum += solve(ss, n, segs[i])
 			}
-			total.Add(int64(sum))
+			total.Add(sum)
 		}()
 	}
 	wg.Wait()
-	return int(total.Load())
+	return total.Load()
 }
 
-// OptimumStream sums the offline optimum over a stream of independent
-// sub-traces (one per yielded value, e.g. trace.Segments over a JSONL
-// stream) on a worker pool, holding at most workers+1 segments in memory at
-// once — the bounded-memory evaluation path for traces too large to
-// materialize. It returns the total optimum and the number of segments
-// consumed. The first error from the iterator stops consumption and is
-// returned after in-flight segments finish.
-func OptimumStream(segments iter.Seq2[*core.Trace, error], workers int) (opt, nsegs int, err error) {
+// mapSegments runs solve over every segment on a worker pool with per-worker
+// scratch, storing results by segment index — the shape objectives with
+// structured per-segment results (min-latency logs) need. Workers claim
+// segments through an atomic cursor; results land at their segment's index,
+// so the output is deterministic regardless of scheduling.
+func mapSegments[T any](n int, segs []Segment, workers int, solve func(ss *segSolver, n int, seg Segment) T) []T {
+	out := make([]T, len(segs))
+	if len(segs) == 0 {
+		return out
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	ch := make(chan *core.Trace)
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+	if workers <= 1 {
+		ss := newSegSolver()
+		for i, seg := range segs {
+			out[i] = solve(ss, n, seg)
+		}
+		return out
+	}
 	var (
-		total atomic.Int64
-		wg    sync.WaitGroup
+		next atomic.Int64
+		wg   sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var (
-				g       matching.Graph
-				m       matching.Matching
-				sc      matching.Scratch
-				slotIDs = make(map[int]int32)
-			)
-			sum := 0
-			for tr := range ch {
-				seg := Segment{Lo: 0, Hi: tr.Horizon() - 1, Reqs: tr.Requests()}
-				sum += solveSegment(tr.N, seg, &g, &m, &sc, slotIDs)
+			ss := newSegSolver()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(segs) {
+					break
+				}
+				out[i] = solve(ss, n, segs[i])
 			}
-			total.Add(int64(sum))
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// wholeTraceSegment wraps an independent sub-trace as one Segment.
+func wholeTraceSegment(tr *core.Trace) Segment {
+	return Segment{Lo: 0, Hi: tr.Horizon() - 1, Reqs: tr.Requests()}
+}
+
+// streamSegments folds a per-segment int64 objective over a stream of
+// independent sub-traces on a worker pool, holding at most workers+1 segments
+// in memory at once. The first error from the iterator stops consumption and
+// is returned after in-flight segments finish.
+func streamSegments(segments iter.Seq2[*core.Trace, error], workers int, solve func(*segSolver, int, Segment) int64) (total int64, nsegs int, err error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ch := make(chan *core.Trace)
+	var (
+		sum atomic.Int64
+		wg  sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ss := newSegSolver()
+			acc := int64(0)
+			for tr := range ch {
+				acc += solve(ss, tr.N, wholeTraceSegment(tr))
+			}
+			sum.Add(acc)
 		}()
 	}
 	for tr, serr := range segments {
@@ -294,5 +472,26 @@ func OptimumStream(segments iter.Seq2[*core.Trace, error], workers int) (opt, ns
 	if err != nil {
 		return 0, nsegs, err
 	}
-	return int(total.Load()), nsegs, nil
+	return sum.Load(), nsegs, nil
+}
+
+// OptimumStream sums the offline optimum over a stream of independent
+// sub-traces (one per yielded value, e.g. trace.Segments over a JSONL
+// stream) on a worker pool, holding at most workers+1 segments in memory at
+// once — the bounded-memory evaluation path for traces too large to
+// materialize. It returns the total optimum and the number of segments
+// consumed. The first error from the iterator stops consumption and is
+// returned after in-flight segments finish.
+func OptimumStream(segments iter.Seq2[*core.Trace, error], workers int) (opt, nsegs int, err error) {
+	total, nsegs, err := streamSegments(segments, workers, (*segSolver).cardinality)
+	return int(total), nsegs, err
+}
+
+// MaxProfitStream sums the weighted offline optimum (maximum total weight
+// served) over a stream of independent sub-traces on a worker pool — the
+// bounded-memory sibling of MaxProfitParallel. It returns the total profit
+// and the number of segments consumed.
+func MaxProfitStream(segments iter.Seq2[*core.Trace, error], workers int) (profit, nsegs int, err error) {
+	total, nsegs, err := streamSegments(segments, workers, (*segSolver).maxProfit)
+	return int(total), nsegs, err
 }

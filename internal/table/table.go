@@ -65,82 +65,173 @@ func entry(row, param, theorem string, d int, m ratio.Measurement) Entry {
 	}
 }
 
-// Rows measures every Table 1 row on its lower-bound construction across a
-// spread of deadline windows.
-func Rows(cfg Config) []Entry {
-	var out []Entry
+// rowSpec is one Table 1 cell, declared once and measured either serially or
+// on the ratio worker pool: the construction and strategy factories a
+// ratio.Job needs (factories, because adaptive sources and strategies are
+// stateful), plus the labels entry() attaches. Both execution paths share the
+// same spec list, so their output is identical by construction.
+type rowSpec struct {
+	row, param, theorem string
+	d                   int
+	build               func() adversary.Construction
+	strategy            func() core.Strategy
+	// universal marks Row 6 cells: relabel "any (strategy)" and attach the
+	// universal lower bound instead of the strategy's own.
+	universal bool
+}
+
+// rowSpecs declares every Table 1 row on its lower-bound construction across
+// a spread of deadline windows.
+func rowSpecs(cfg Config) []rowSpec {
+	var specs []rowSpec
+	add := func(row, param, theorem string, d int,
+		build func() adversary.Construction, strategy func() core.Strategy) {
+		specs = append(specs, rowSpec{row: row, param: param, theorem: theorem,
+			d: d, build: build, strategy: strategy})
+	}
 
 	// Row 1: A_fix, Theorem 2.1, LB = UB = 2 - 1/d.
 	for _, d := range []int{2, 3, 4, 8, 16} {
-		m := ratio.MeasureConstruction(adversary.Fix(d, cfg.Phases), strategies.NewFix())
-		out = append(out, entry("A_fix", fmt.Sprintf("d=%d", d), "Thm 2.1", d, m))
+		add("A_fix", fmt.Sprintf("d=%d", d), "Thm 2.1", d,
+			func() adversary.Construction { return adversary.Fix(d, cfg.Phases) },
+			func() core.Strategy { return strategies.NewFix() })
 	}
 
 	// Row 2: A_current. d=2 via the Theorem 2.4 construction; growing l via
 	// Theorem 2.2 (d = lcm(1..l)), converging to e/(e-1).
-	m := ratio.MeasureConstruction(adversary.Eager(2, cfg.Phases), strategies.NewCurrent())
-	out = append(out, entry("A_current", "d=2", "Thm 2.4", 2, m))
+	add("A_current", "d=2", "Thm 2.4", 2,
+		func() adversary.Construction { return adversary.Eager(2, cfg.Phases) },
+		func() core.Strategy { return strategies.NewCurrent() })
 	for _, l := range []int{3, 4, 5, 6} {
-		c := adversary.Current(l, max(2, cfg.Phases/8))
-		m := ratio.MeasureConstruction(c, strategies.NewCurrent())
-		out = append(out, entry("A_current", fmt.Sprintf("l=%d,d=%d", l, c.D), "Thm 2.2", c.D, m))
+		d := adversary.Current(l, 2).D // d = lcm(1..l), read off a throwaway build
+		add("A_current", fmt.Sprintf("l=%d,d=%d", l, d), "Thm 2.2", d,
+			func() adversary.Construction { return adversary.Current(l, max(2, cfg.Phases/8)) },
+			func() core.Strategy { return strategies.NewCurrent() })
 	}
 
 	// Row 3: A_fix_balance. d=2 via Theorem 2.4; even d via Theorem 2.3.
-	m = ratio.MeasureConstruction(adversary.Eager(2, cfg.Phases), strategies.NewFixBalance())
-	out = append(out, entry("A_fix_balance", "d=2", "Thm 2.4", 2, m))
+	add("A_fix_balance", "d=2", "Thm 2.4", 2,
+		func() adversary.Construction { return adversary.Eager(2, cfg.Phases) },
+		func() core.Strategy { return strategies.NewFixBalance() })
 	for _, d := range []int{4, 8, 12, 16} {
-		m := ratio.MeasureConstruction(adversary.FixBalance(d, cfg.Phases), strategies.NewFixBalance())
-		out = append(out, entry("A_fix_balance", fmt.Sprintf("d=%d", d), "Thm 2.3", d, m))
+		add("A_fix_balance", fmt.Sprintf("d=%d", d), "Thm 2.3", d,
+			func() adversary.Construction { return adversary.FixBalance(d, cfg.Phases) },
+			func() core.Strategy { return strategies.NewFixBalance() })
 	}
 
 	// Row 4: A_eager, Theorem 2.4, LB 4/3 for all d.
 	for _, d := range []int{2, 4, 8, 16} {
-		m := ratio.MeasureConstruction(adversary.Eager(d, cfg.Phases), strategies.NewEager())
-		out = append(out, entry("A_eager", fmt.Sprintf("d=%d", d), "Thm 2.4", d, m))
+		add("A_eager", fmt.Sprintf("d=%d", d), "Thm 2.4", d,
+			func() adversary.Construction { return adversary.Eager(d, cfg.Phases) },
+			func() core.Strategy { return strategies.NewEager() })
 	}
 
 	// Row 5: A_balance. d=2 via Theorem 2.4; d=3x-1 via Theorem 2.5.
-	m = ratio.MeasureConstruction(adversary.Eager(2, cfg.Phases), strategies.NewBalance())
-	out = append(out, entry("A_balance", "d=2", "Thm 2.4", 2, m))
+	add("A_balance", "d=2", "Thm 2.4", 2,
+		func() adversary.Construction { return adversary.Eager(2, cfg.Phases) },
+		func() core.Strategy { return strategies.NewBalance() })
 	for _, x := range []int{1, 2, 3, 4} {
 		d := 3*x - 1
-		c := adversary.Balance(x, cfg.Groups, cfg.Phases)
-		m := ratio.MeasureConstruction(c, strategies.NewBalance())
-		out = append(out, entry("A_balance", fmt.Sprintf("x=%d,k=%d", x, cfg.Groups), "Thm 2.5", d, m))
+		add("A_balance", fmt.Sprintf("x=%d,k=%d", x, cfg.Groups), "Thm 2.5", d,
+			func() adversary.Construction { return adversary.Balance(x, cfg.Groups, cfg.Phases) },
+			func() core.Strategy { return strategies.NewBalance() })
 	}
 
 	// Row 6: the universal adversary versus every deterministic strategy.
-	for _, s := range allUniversalTargets() {
-		c := adversary.Universal(6, max(5, cfg.Phases/2))
-		m := ratio.MeasureConstruction(c, s)
-		e := entry(s.Name(), "d=6", "Thm 2.6", 6, m)
-		e.Row = "any (" + s.Name() + ")"
-		e.ProvenLB = strategies.UniversalLowerBound()
-		e.LBNote = "universal"
-		out = append(out, e)
+	for _, mk := range universalTargets() {
+		name := mk().Name()
+		specs = append(specs, rowSpec{
+			row: name, param: "d=6", theorem: "Thm 2.6", d: 6,
+			build:    func() adversary.Construction { return adversary.Universal(6, max(5, cfg.Phases/2)) },
+			strategy: mk, universal: true,
+		})
+	}
+	return specs
+}
+
+// localRowSpecs declares the local-strategy rows (Theorems 3.7, 3.8) and
+// EDF's exactly-2 family (Observation 3.2).
+func localRowSpecs(cfg Config) []rowSpec {
+	var specs []rowSpec
+	for _, d := range []int{2, 4, 8} {
+		specs = append(specs, rowSpec{
+			row: "A_local_fix", param: fmt.Sprintf("d=%d", d), theorem: "Thm 3.7", d: d,
+			build:    func() adversary.Construction { return adversary.LocalFix(d, cfg.Phases) },
+			strategy: localFix,
+		})
+	}
+	for _, d := range []int{2, 4, 8} {
+		specs = append(specs, rowSpec{
+			row: "A_local_eager", param: fmt.Sprintf("d=%d", d), theorem: "Thm 3.8", d: d,
+			build:    func() adversary.Construction { return adversary.LocalFix(d, cfg.Phases) },
+			strategy: localEager,
+		})
+	}
+	for _, d := range []int{2, 4} {
+		specs = append(specs, rowSpec{
+			row: "EDF", param: fmt.Sprintf("d=%d", d), theorem: "Obs 3.2", d: d,
+			build:    func() adversary.Construction { return adversary.EDFWorstCase(d, cfg.Phases) },
+			strategy: func() core.Strategy { return strategies.NewEDF() },
+		})
+	}
+	return specs
+}
+
+// measureSpecs measures the specs on the ratio worker pool (workers <= 0:
+// GOMAXPROCS; 1: serial) and converts the measurements, in spec order, into
+// entries. Every job is independent and deterministic, so the output does
+// not depend on workers.
+func measureSpecs(specs []rowSpec, workers int) ([]Entry, error) {
+	jobs := make([]ratio.Job, len(specs))
+	for i, sp := range specs {
+		jobs[i] = ratio.Job{Name: sp.row + " " + sp.param, Build: sp.build, Strategy: sp.strategy}
+	}
+	ms, err := ratio.RunParallelChecked(jobs, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Entry, len(specs))
+	for i, sp := range specs {
+		e := entry(sp.row, sp.param, sp.theorem, sp.d, ms[i])
+		if sp.universal {
+			e.Row = "any (" + sp.row + ")"
+			e.ProvenLB = strategies.UniversalLowerBound()
+			e.LBNote = "universal"
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// Rows measures every Table 1 row on its lower-bound construction across a
+// spread of deadline windows, serially.
+func Rows(cfg Config) []Entry {
+	out, err := measureSpecs(rowSpecs(cfg), 1)
+	if err != nil {
+		panic(err)
 	}
 	return out
 }
 
-// LocalRows measures the local strategies (Theorems 3.7, 3.8).
+// RowsParallel is Rows on the ratio worker pool: identical entries (every
+// cell is an independent deterministic measurement), job panics surfaced as
+// an error instead of taking the harness down.
+func RowsParallel(cfg Config, workers int) ([]Entry, error) {
+	return measureSpecs(rowSpecs(cfg), workers)
+}
+
+// LocalRows measures the local strategies (Theorems 3.7, 3.8), serially.
 func LocalRows(cfg Config) []Entry {
-	var out []Entry
-	for _, d := range []int{2, 4, 8} {
-		m := ratio.MeasureConstruction(adversary.LocalFix(d, cfg.Phases), localFix())
-		out = append(out, entry("A_local_fix", fmt.Sprintf("d=%d", d), "Thm 3.7", d, m))
-	}
-	for _, d := range []int{2, 4, 8} {
-		m := ratio.MeasureConstruction(adversary.LocalFix(d, cfg.Phases), localEager())
-		e := entry("A_local_eager", fmt.Sprintf("d=%d", d), "Thm 3.8", d, m)
-		out = append(out, e)
-	}
-	// EDF's exactly-2 family (Observation 3.2).
-	for _, d := range []int{2, 4} {
-		m := ratio.MeasureConstruction(adversary.EDFWorstCase(d, cfg.Phases), strategies.NewEDF())
-		out = append(out, entry("EDF", fmt.Sprintf("d=%d", d), "Obs 3.2", d, m))
+	out, err := measureSpecs(localRowSpecs(cfg), 1)
+	if err != nil {
+		panic(err)
 	}
 	return out
+}
+
+// LocalRowsParallel is LocalRows on the ratio worker pool.
+func LocalRowsParallel(cfg Config, workers int) ([]Entry, error) {
+	return measureSpecs(localRowSpecs(cfg), workers)
 }
 
 // Format renders entries as an aligned text table.
@@ -163,11 +254,21 @@ func Format(entries []Entry) string {
 	return sb.String()
 }
 
-func allUniversalTargets() []core.Strategy {
-	out := strategies.Global()
-	out = append(out, strategies.NewEDF(), strategies.NewFirstFit())
-	out = append(out, localFix(), localEager())
-	return out
+// universalTargets lists factories for every deterministic strategy Row 6
+// pits against the universal adversary — factories, because each measurement
+// needs its own stateful instance.
+func universalTargets() []func() core.Strategy {
+	return []func() core.Strategy{
+		func() core.Strategy { return strategies.NewFix() },
+		func() core.Strategy { return strategies.NewCurrent() },
+		func() core.Strategy { return strategies.NewFixBalance() },
+		func() core.Strategy { return strategies.NewEager() },
+		func() core.Strategy { return strategies.NewBalance() },
+		func() core.Strategy { return strategies.NewEDF() },
+		func() core.Strategy { return strategies.NewFirstFit() },
+		localFix,
+		localEager,
+	}
 }
 
 func max(a, b int) int {

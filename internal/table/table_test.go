@@ -100,3 +100,37 @@ func TestEntryMeasuredZeroALG(t *testing.T) {
 		t.Fatal("zero ALG should measure 0 (sentinel)")
 	}
 }
+
+func TestRowsParallelEqualsRows(t *testing.T) {
+	// Every cell is an independent deterministic measurement, so the parallel
+	// harness must reproduce the serial entries exactly at any worker count.
+	cfg := smallConfig()
+	want := Rows(cfg)
+	wantLocal := LocalRows(cfg)
+	for _, workers := range []int{2, 4, 0} {
+		got, err := RowsParallel(cfg, workers)
+		if err != nil {
+			t.Fatalf("RowsParallel(workers=%d): %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("RowsParallel(workers=%d): %d entries, serial %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("RowsParallel(workers=%d) entry %d = %+v, serial %+v", workers, i, got[i], want[i])
+			}
+		}
+		gotLocal, err := LocalRowsParallel(cfg, workers)
+		if err != nil {
+			t.Fatalf("LocalRowsParallel(workers=%d): %v", workers, err)
+		}
+		if len(gotLocal) != len(wantLocal) {
+			t.Fatalf("LocalRowsParallel(workers=%d): %d entries, serial %d", workers, len(gotLocal), len(wantLocal))
+		}
+		for i := range wantLocal {
+			if gotLocal[i] != wantLocal[i] {
+				t.Fatalf("LocalRowsParallel(workers=%d) entry %d = %+v, serial %+v", workers, i, gotLocal[i], wantLocal[i])
+			}
+		}
+	}
+}

@@ -212,14 +212,92 @@ func ReadStream(r io.Reader) (*core.Trace, error) {
 	return tr, nil
 }
 
+// SegmentCutter accumulates requests fed in nondecreasing arrival-round
+// order and cuts them into independent time segments: a cut falls before
+// every request whose arrival round is past the deadline of every request
+// seen so far (the same clean-cut rule as offline.SegmentTrace). Each
+// finished segment is a self-contained sub-trace with rounds shifted to
+// start at 0 and its own request IDs from 0; segment optima therefore sum to
+// the whole input's optimum. It is the push-style core under Segments and
+// SegmentsOf, and the piece the adaptive streaming pipeline feeds directly
+// from the engine's observe callback.
+type SegmentCutter struct {
+	n, d  int
+	b     *core.Builder
+	count int
+	lo    int
+	maxDL int
+}
+
+// NewSegmentCutter returns a cutter for requests over n resources with
+// default deadline window d.
+func NewSegmentCutter(n, d int) *SegmentCutter {
+	return &SegmentCutter{n: n, d: d, b: core.NewBuilder(n, d), maxDL: -1}
+}
+
+// Add appends one request. If the request opens a new segment — its arrival
+// round is past every earlier deadline — the finished segment is returned;
+// otherwise Add returns nil. Arrival rounds must be nondecreasing.
+func (sc *SegmentCutter) Add(rec StreamRecord) *core.Trace {
+	var done *core.Trace
+	if sc.count > 0 && rec.T > sc.maxDL {
+		done = sc.flush()
+	}
+	if sc.count == 0 {
+		sc.lo = rec.T
+	}
+	id := sc.b.AddWindow(rec.T-sc.lo, rec.D, rec.Alts...)
+	if rec.W > 1 {
+		sc.b.SetWeight(id, rec.W)
+	}
+	sc.count++
+	if dl := rec.Deadline(); dl > sc.maxDL {
+		sc.maxDL = dl
+	}
+	return done
+}
+
+// Finish returns the trailing open segment, or nil if no requests are
+// buffered. The cutter is reusable afterwards.
+func (sc *SegmentCutter) Finish() *core.Trace {
+	if sc.count == 0 {
+		return nil
+	}
+	return sc.flush()
+}
+
+func (sc *SegmentCutter) flush() *core.Trace {
+	tr := sc.b.Build()
+	sc.b = core.NewBuilder(sc.n, sc.d)
+	sc.count = 0
+	return tr
+}
+
+// SegmentsOf cuts any source of stream records — already validated, in
+// nondecreasing arrival order — into independent time segments, holding at
+// most one open segment. A record error is yielded once as (nil, err) and
+// ends the iteration.
+func SegmentsOf(n, d int, recs iter.Seq2[StreamRecord, error]) iter.Seq2[*core.Trace, error] {
+	return func(yield func(*core.Trace, error) bool) {
+		sc := NewSegmentCutter(n, d)
+		for rec, err := range recs {
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if done := sc.Add(rec); done != nil && !yield(done, nil) {
+				return
+			}
+		}
+		if done := sc.Finish(); done != nil {
+			yield(done, nil)
+		}
+	}
+}
+
 // Segments iterates over the independent time segments of a JSONL trace
-// stream without ever materializing more than one segment: the stream is cut
-// before every record whose arrival round is past the deadline of every
-// request read so far (the same clean-cut rule as offline.SegmentTrace).
-// Each yielded sub-trace has its rounds shifted to start at 0 and its own
-// request IDs from 0; segment optima therefore sum to the whole trace's
-// optimum. A header or record error is yielded once as (nil, err) and ends
-// the iteration.
+// stream without ever materializing more than one segment. A header or
+// record error is yielded once as (nil, err) and ends the iteration.
 func Segments(r io.Reader) iter.Seq2[*core.Trace, error] {
 	return func(yield func(*core.Trace, error) bool) {
 		sr, err := NewStreamReader(r)
@@ -227,42 +305,17 @@ func Segments(r io.Reader) iter.Seq2[*core.Trace, error] {
 			yield(nil, err)
 			return
 		}
-		b := core.NewBuilder(sr.N(), sr.D())
-		count, lo, maxDL := 0, 0, -1
-		flush := func() bool {
-			tr := b.Build()
-			b = core.NewBuilder(sr.N(), sr.D())
-			count = 0
-			return yield(tr, nil)
-		}
-		for {
-			rec, err := sr.Next()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				yield(nil, err)
-				return
-			}
-			if count > 0 && rec.T > maxDL {
-				if !flush() {
+		recs := func(yield func(StreamRecord, error) bool) {
+			for {
+				rec, err := sr.Next()
+				if err == io.EOF {
+					return
+				}
+				if !yield(rec, err) || err != nil {
 					return
 				}
 			}
-			if count == 0 {
-				lo = rec.T
-			}
-			id := b.AddWindow(rec.T-lo, rec.D, rec.Alts...)
-			if rec.W > 1 {
-				b.SetWeight(id, rec.W)
-			}
-			count++
-			if dl := rec.Deadline(); dl > maxDL {
-				maxDL = dl
-			}
 		}
-		if count > 0 {
-			flush()
-		}
+		SegmentsOf(sr.N(), sr.D(), recs)(yield)
 	}
 }

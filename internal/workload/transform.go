@@ -84,6 +84,40 @@ func TrapMix(cfg Config, trapEvery int) *core.Trace {
 	return b.Build()
 }
 
+// WithWeights returns a copy of tr in which every request draws an integer
+// weight from [1, maxW] under the same harmonic 1/w profile as the Weighted
+// generator: most requests stay cheap, a heavy tail matters. It turns any
+// trace shape — bursty, gapped, adversarial — into a weighted workload, which
+// is how the weighted segmented solvers get property-tested on the Table 1
+// constructions.
+func WithWeights(tr *core.Trace, maxW int, seed int64) *core.Trace {
+	if maxW < 1 {
+		panic("workload: maxW must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cum := make([]float64, maxW+1)
+	for w := 1; w <= maxW; w++ {
+		cum[w] = cum[w-1] + 1/float64(w)
+	}
+	drawW := func() int {
+		x := rng.Float64() * cum[maxW]
+		for w := 1; w <= maxW; w++ {
+			if x <= cum[w] {
+				return w
+			}
+		}
+		return maxW
+	}
+	b := core.NewBuilder(tr.N, tr.D)
+	for t, rs := range tr.Arrivals {
+		for i := range rs {
+			id := b.AddWindow(t, rs[i].D, rs[i].Alts...)
+			b.SetWeight(id, drawW())
+		}
+	}
+	return b.Build()
+}
+
 // ShuffleArrivalOrder returns a copy of tr in which the injection order
 // within every round is shuffled (IDs are renumbered accordingly). The
 // second half of the tie-breaking ablation: the adversaries also rely on

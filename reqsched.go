@@ -146,9 +146,49 @@ func OptimumSchedule(tr *Trace) []Fulfillment { return offline.OptimumSchedule(t
 // for throughput-optimal scheduling.
 func OptimumMinLatency(tr *Trace) ([]Fulfillment, int) { return offline.OptimumMinLatency(tr) }
 
+// OptimumMinLatencyParallel is OptimumMinLatency on the segmented worker
+// pool: same maximum cardinality and same (unique) minimum total latency,
+// computed per independent segment (workers <= 0: GOMAXPROCS).
+func OptimumMinLatencyParallel(tr *Trace, workers int) ([]Fulfillment, int) {
+	return offline.OptimumMinLatencyParallel(tr, workers)
+}
+
 // MaxProfit returns the maximum total request weight an offline schedule can
 // serve (the weighted extension's optimum; equals Optimum when unweighted).
 func MaxProfit(tr *Trace) int { return offline.MaxProfit(tr) }
+
+// MaxProfitParallel returns exactly MaxProfit(tr), computed over independent
+// segments on a worker pool (workers <= 0: GOMAXPROCS).
+func MaxProfitParallel(tr *Trace, workers int) int {
+	return offline.MaxProfitParallel(tr, workers)
+}
+
+// MaxProfitStream sums the weighted offline optimum over a stream of
+// independent sub-traces on a worker pool — the bounded-memory sibling of
+// MaxProfitParallel. It returns the total profit and the number of segments
+// consumed.
+func MaxProfitStream(segments iter.Seq2[*Trace, error], workers int) (profit, nsegs int, err error) {
+	return offline.MaxProfitStream(segments, workers)
+}
+
+// EarliestDeadlineSchedule serves tr greedily by earliest deadline on every
+// resource and returns the number of requests fulfilled — optimal for
+// single-choice traces (Observation 3.1).
+func EarliestDeadlineSchedule(tr *Trace) int { return offline.EarliestDeadlineSchedule(tr) }
+
+// AdaptiveSource generates arrivals round by round while observing which
+// requests the online algorithm has served — the paper's adaptive adversary
+// model (Theorem 2.6).
+type AdaptiveSource = core.AdaptiveSource
+
+// MeasureAdaptiveStream runs s against an adaptive source and computes its
+// competitive ratio incrementally: generated rounds stream through a
+// clean-cut segmenter into the segmented offline solver while the run is in
+// progress, so the full trace is never materialized. Returns the measurement
+// and the number of segments the run decomposed into.
+func MeasureAdaptiveStream(s Strategy, src AdaptiveSource, workers int) (Measurement, int) {
+	return ratio.RunAdaptiveStream(s, src, workers)
+}
 
 // Global strategies (Table 1 rows).
 
@@ -390,6 +430,12 @@ func TrapMix(cfg WorkloadConfig, trapEvery int) *Trace { return workload.TrapMix
 // shuffled — the tie-breaking ablation for adversaries that steer through
 // listing order.
 func ShuffleAlts(tr *Trace, seed int64) *Trace { return workload.ShuffleAlts(tr, seed) }
+
+// WithWeights returns a copy of tr whose requests draw harmonic 1/w weights
+// from [1, maxW] — turns any trace shape into a weighted workload.
+func WithWeights(tr *Trace, maxW int, seed int64) *Trace {
+	return workload.WithWeights(tr, maxW, seed)
+}
 
 // ShuffleArrivalOrder returns a copy of tr with the per-round injection
 // order shuffled — the ablation for adversaries that steer through ID order.

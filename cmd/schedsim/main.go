@@ -149,7 +149,7 @@ func main() {
 		res := reqsched.Run(s, tr)
 		fmt.Printf("%-20s %9d %7d %9s %9.2f %9.3f %10d %9d\n",
 			name, res.Fulfilled, res.Expired,
-			fmtRatio(ratioOf(opt, res.Fulfilled)), res.MeanLatency(),
+			reqsched.FormatRatio(ratioOf(opt, res.Fulfilled), 4), res.MeanLatency(),
 			imbalance(res.PerResource), res.CommRounds, res.Messages)
 	}
 }
@@ -177,15 +177,6 @@ func ratioOf(opt, alg int) float64 {
 		return math.Inf(1)
 	}
 	return float64(opt) / float64(alg)
-}
-
-// fmtRatio renders a ratio, spelling starvation out as "inf" instead of a
-// misleading numeric value.
-func fmtRatio(r float64) string {
-	if math.IsInf(r, 1) {
-		return "inf"
-	}
-	return fmt.Sprintf("%.4f", r)
 }
 
 // imbalance is max/mean of the per-resource service counts (1.0 = perfectly

@@ -2,21 +2,28 @@
 // CI-style gate. It measures every Table 1 row's adversary in parallel,
 // checks proven bounds on both sides, re-validates the structural
 // augmenting-path claims of the upper-bound proofs, cross-checks the
-// segmented parallel offline optimum against the monolithic solver, and
-// exits non-zero on any violation. With -tools it additionally shells out to
-// `go vet ./...` and the race-detector tests of the concurrent packages.
+// segmented parallel offline optimum against the monolithic solver, exercises
+// the fault-tolerant grid (journal resume, torn-tail truncation, and a
+// chaos-killed worker subprocess), and exits non-zero on any violation. With
+// -tools it additionally shells out to `go vet ./...` and the race-detector
+// tests of the concurrent packages.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"reqsched"
+	"reqsched/internal/grid"
+	"reqsched/internal/grid/chaos"
 )
 
 type check struct {
@@ -28,7 +35,21 @@ type check struct {
 func main() {
 	workers := flag.Int("workers", 0, "measurement pool size (<= 0: GOMAXPROCS)")
 	tools := flag.Bool("tools", false, "also run `go vet ./...` and `go test -race` on the concurrent packages")
+	gridworker := flag.Bool("gridworker", false, "internal: speak the gridworker protocol on stdin/stdout (used by the grid checks to re-exec this binary)")
 	flag.Parse()
+
+	if *gridworker {
+		faults, err := chaos.FromEnv()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := grid.WorkerMain(os.Stdin, os.Stdout, 2*time.Second, faults); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var checks []check
 	add := func(name string, ok bool, format string, args ...interface{}) {
@@ -189,11 +210,16 @@ func main() {
 		"stream OPT/ALG %d/%d vs post-hoc %d/%d (%d segments)",
 		gotAd.OPT, gotAd.ALG, wantAd.OPT, wantAd.ALG, nsegs)
 
-	// 5. Optional toolchain gates.
+	// 5. Fault-tolerant grid: deterministic manifests, journal resume with
+	// torn-tail truncation, and a chaos-killed worker subprocess — the
+	// machinery behind cmd/sweep -shard/-journal/-resume.
+	gridChecks(add, *workers)
+
+	// 6. Optional toolchain gates.
 	if *tools {
 		cmds := [][]string{
 			{"go", "vet", "./..."},
-			{"go", "test", "-race", "./internal/offline", "./internal/ratio", "./internal/experiment"},
+			{"go", "test", "-race", "./internal/offline", "./internal/ratio", "./internal/experiment", "./internal/grid"},
 		}
 		for _, args := range cmds {
 			cmd := exec.Command(args[0], args[1:]...)
@@ -220,4 +246,114 @@ func main() {
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// gridChecks exercises the fault-tolerant sweep grid end to end: manifest
+// determinism, bit-identical measurements across the in-process, journaled,
+// and subprocess paths, crash resume over a torn journal, and a chaos-killed
+// worker being retried transparently.
+func gridChecks(add func(name string, ok bool, format string, args ...interface{}), workers int) {
+	specs := []grid.Spec{
+		{Strategy: "A_fix", Build: grid.BuildSpec{Kind: "fix", D: 4, Phases: 8}},
+		{Strategy: "A_eager", Build: grid.BuildSpec{Kind: "eager", D: 4, Phases: 8}},
+		{Strategy: "A_current", Build: grid.BuildSpec{Kind: "current", L: 2, Phases: 2}},
+		{Strategy: "EDF", Build: grid.BuildSpec{Kind: "uniform", N: 4, D: 3, Rounds: 30, Rate: 5, Seed: 3}},
+	}
+	names := []string{"fix/d=4", "eager/d=4", "current/l=2", "edf/uniform"}
+	jobs, err := grid.BuildManifest(specs, names)
+	if err != nil {
+		add("grid: manifest", false, "%v", err)
+		return
+	}
+	again, _ := grid.BuildManifest(specs, names)
+	det := true
+	for i := range jobs {
+		det = det && jobs[i].ID == again[i].ID
+	}
+	add("grid: deterministic manifest IDs", det, "%d cells", len(jobs))
+
+	want := reqsched.MeasureParallel(grid.RatioJobs(jobs), workers)
+	same := func(ms []reqsched.Measurement) bool {
+		if len(ms) != len(want) {
+			return false
+		}
+		for i := range want {
+			if ms[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	dir, err := os.MkdirTemp("", "verify-grid")
+	if err != nil {
+		add("grid: tempdir", false, "%v", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	ctx := context.Background()
+
+	// Journaled in-process run, then crash-resume over a torn prefix.
+	path := filepath.Join(dir, "journal.jsonl")
+	j, done, _, err := grid.OpenJournal(path, false)
+	ok := err == nil
+	var rep *grid.Report
+	if ok {
+		rep, err = grid.RunLocal(ctx, jobs, done, j, workers)
+		j.Close()
+		ok = err == nil && rep.AllDone() && same(rep.Measurements)
+	}
+	add("grid: journaled run matches plain", ok, "%d cells journaled, err=%v", len(jobs), err)
+
+	ok = false
+	var info string
+	if b, rerr := os.ReadFile(path); rerr == nil {
+		// Keep two intact lines plus half of the third: a crash mid-append.
+		cut, lines := 0, 0
+		for i, c := range b {
+			if c == '\n' {
+				lines++
+				if lines == 2 {
+					cut = i + 1
+					break
+				}
+			}
+		}
+		torn := append(append([]byte{}, b[:cut]...), b[cut:cut+10]...)
+		if werr := os.WriteFile(path, torn, 0o644); werr == nil {
+			j, done, scan, oerr := grid.OpenJournal(path, true)
+			if oerr == nil {
+				rep, err = grid.RunLocal(ctx, jobs, done, j, workers)
+				j.Close()
+				ok = err == nil && scan.TornOffset == int64(cut) && rep.FromJournal == 2 &&
+					rep.AllDone() && same(rep.Measurements)
+				info = fmt.Sprintf("torn at byte %d, %d/%d cells from journal", scan.TornOffset, rep.FromJournal, len(jobs))
+			} else {
+				info = oerr.Error()
+			}
+		}
+	}
+	add("grid: torn-journal crash resume", ok, "%s", info)
+
+	// Subprocess supervisor with a chaos kill on the first job: the worker
+	// dies mid-cell, is respawned, and the grid still completes bit-identically.
+	exe, err := os.Executable()
+	if err != nil {
+		add("grid: chaos-killed worker retried", false, "%v", err)
+		return
+	}
+	rep, err = grid.Run(ctx, jobs, grid.Options{
+		Workers:     2,
+		WorkerCmd:   []string{exe, "-gridworker"},
+		WorkerEnv:   []string{chaos.EnvSpec + "=kill:0", chaos.EnvOnce + "=" + filepath.Join(dir, "fired")},
+		JobTimeout:  time.Minute,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+	})
+	ok = err == nil && rep.AllDone() && rep.Retried >= 1 && same(rep.Measurements)
+	retried := 0
+	if rep != nil {
+		retried = rep.Retried
+	}
+	add("grid: chaos-killed worker retried", ok, "%d retried, err=%v", retried, err)
 }

@@ -1,0 +1,99 @@
+// Package chaos is the deterministic fault-injection layer of the grid
+// worker: a worker process can be armed — via environment variables, so the
+// supervisor's spawn path is exercised unchanged — to die, hang, or emit a
+// corrupt record at a fixed job index. Faults are deterministic (they fire at
+// an exact job count, never at random) so property tests can enumerate every
+// single-fault schedule and prove each one still yields the clean grid.
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Environment variables arming a worker process.
+const (
+	// EnvSpec holds the fault spec: "kill:N", "stall:N", or "corrupt:N",
+	// where N is the 0-based index of the job (within one worker process) the
+	// fault fires at. Empty or unset: no faults.
+	EnvSpec = "GRID_CHAOS"
+	// EnvOnce names a flag file making the fault fire at most once globally:
+	// the first firing claims the file (O_CREATE|O_EXCL), and respawned
+	// workers that find it claimed run clean. Without it, a fault re-fires in
+	// every respawned process — the "fault persists until the retry budget is
+	// exhausted" schedule.
+	EnvOnce = "GRID_CHAOS_ONCE"
+)
+
+// Fault modes.
+const (
+	// Kill exits the process without responding, as if SIGKILLed or OOMed:
+	// the supervisor sees the stream end mid-job.
+	Kill = "kill"
+	// Stall hangs forever without heartbeats: the supervisor's liveness
+	// timeout must reap it.
+	Stall = "stall"
+	// Corrupt returns the job's record with the measurement tampered after
+	// sealing: the supervisor's digest check must reject it.
+	Corrupt = "corrupt"
+)
+
+// Faults is one worker process's armed fault plan. The zero value (or a nil
+// pointer) injects nothing.
+type Faults struct {
+	mode     string
+	at       int
+	oncePath string
+}
+
+// Parse builds a plan from a spec string ("mode:N") and an optional
+// once-file path. An empty spec returns nil (no faults).
+func Parse(spec, oncePath string) (*Faults, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	mode, at, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("chaos: spec %q is not mode:N", spec)
+	}
+	if mode != Kill && mode != Stall && mode != Corrupt {
+		return nil, fmt.Errorf("chaos: unknown fault mode %q", mode)
+	}
+	n, err := strconv.Atoi(at)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("chaos: bad job index %q", at)
+	}
+	return &Faults{mode: mode, at: n, oncePath: oncePath}, nil
+}
+
+// FromEnv builds the plan the supervisor armed via EnvSpec/EnvOnce.
+func FromEnv() (*Faults, error) {
+	return Parse(os.Getenv(EnvSpec), os.Getenv(EnvOnce))
+}
+
+// fires reports whether the given fault mode triggers for the jobIndex-th
+// job of this process, claiming the once-file if one is configured.
+func (f *Faults) fires(mode string, jobIndex int) bool {
+	if f == nil || f.mode != mode || jobIndex != f.at {
+		return false
+	}
+	if f.oncePath != "" {
+		fd, err := os.OpenFile(f.oncePath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			return false // already claimed by an earlier firing
+		}
+		fd.Close()
+	}
+	return true
+}
+
+// KillAt reports whether the process should die before answering job i.
+func (f *Faults) KillAt(i int) bool { return f.fires(Kill, i) }
+
+// StallAt reports whether the process should hang on job i.
+func (f *Faults) StallAt(i int) bool { return f.fires(Stall, i) }
+
+// CorruptAt reports whether job i's record should be tampered with.
+func (f *Faults) CorruptAt(i int) bool { return f.fires(Corrupt, i) }

@@ -1,0 +1,204 @@
+// Package grid is the fault-tolerant distributed execution layer for
+// measurement grids: the paper's evaluation is a grid of (construction,
+// strategy) cells, and a sweep that outgrows one process must survive
+// workers that crash, hang, or return garbage. The package provides
+//
+//   - a serializable job description (Spec) with deterministic content-derived
+//     job IDs, so the same grid built twice — or on two machines — names its
+//     cells identically;
+//   - an append-only JSONL checkpoint journal (Journal) with per-record
+//     digests and torn-write detection, so an interrupted sweep resumes
+//     bit-identically;
+//   - a supervisor (Run) that spawns gridworker subprocesses speaking a JSONL
+//     stdin/stdout protocol, with per-job wall-clock deadlines, heartbeat
+//     liveness, exponential backoff with seeded jitter, a bounded retry
+//     budget, and supervisor-side re-verification of every returned record;
+//   - an in-process runner (RunLocal) sharing the journal/resume semantics
+//     but executing on the ratio worker pool — the -shard 0 path;
+//   - a deterministic chaos layer (subpackage chaos) injecting kill, stall,
+//     and corrupt-record faults at fixed job indices, used by the property
+//     tests proving single-fault schedules reproduce the clean grid.
+package grid
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"reqsched/internal/adversary"
+	"reqsched/internal/core"
+	"reqsched/internal/local"
+	"reqsched/internal/strategies"
+	"reqsched/internal/workload"
+)
+
+// Spec describes one grid cell — a (construction, strategy) measurement — in
+// a serializable, deterministic form. Unlike ratio.Job's closures, a Spec can
+// cross a process boundary and derive a stable identity from its content.
+type Spec struct {
+	// Strategy names the online strategy (reqsched.Strategies key).
+	Strategy string `json:"strategy"`
+	// Build describes the adversarial construction or synthetic workload.
+	Build BuildSpec `json:"build"`
+}
+
+// BuildSpec selects and parameterizes an input family. Kind chooses the
+// builder; the remaining fields are that builder's parameters (unused ones
+// stay zero and are omitted from the wire form, keeping IDs stable when new
+// parameters are added).
+type BuildSpec struct {
+	// Kind is one of the adversary kinds "fix", "current", "fix_balance",
+	// "eager", "balance", "universal", "universal_anyd", "local_fix", "edf",
+	// or the workload kinds "uniform", "zipf", "bursty", "single", "cchoice".
+	Kind string `json:"kind"`
+	// Adversary parameters (Table 1 families).
+	D      int `json:"d,omitempty"`
+	Phases int `json:"phases,omitempty"`
+	L      int `json:"l,omitempty"`
+	X      int `json:"x,omitempty"`
+	K      int `json:"k,omitempty"`
+	// Workload parameters (synthetic generators).
+	N      int     `json:"n,omitempty"`
+	Rounds int     `json:"rounds,omitempty"`
+	Rate   float64 `json:"rate,omitempty"`
+	Seed   int64   `json:"seed,omitempty"`
+	S      float64 `json:"s,omitempty"`
+	On     int     `json:"on,omitempty"`
+	Off    int     `json:"off,omitempty"`
+	Burst  float64 `json:"burst,omitempty"`
+	C      int     `json:"c,omitempty"`
+}
+
+// Construction materializes the input the spec describes. Generation is
+// deterministic: the same spec yields the same trace (or adaptive source) in
+// every process, which is what makes cross-process measurements and resume
+// runs bit-identical.
+func (b BuildSpec) Construction() (adversary.Construction, error) {
+	cfg := workload.Config{N: b.N, D: b.D, Rounds: b.Rounds, Rate: b.Rate, Seed: b.Seed}
+	switch b.Kind {
+	case "fix":
+		return adversary.Fix(b.D, b.Phases), nil
+	case "current":
+		return adversary.Current(b.L, b.Phases), nil
+	case "fix_balance":
+		return adversary.FixBalance(b.D, b.Phases), nil
+	case "eager":
+		return adversary.Eager(b.D, b.Phases), nil
+	case "balance":
+		return adversary.Balance(b.X, b.K, b.Phases), nil
+	case "universal":
+		return adversary.Universal(b.D, b.Phases), nil
+	case "universal_anyd":
+		return adversary.UniversalAnyD(b.D, b.Phases), nil
+	case "local_fix":
+		return adversary.LocalFix(b.D, b.Phases), nil
+	case "edf":
+		return adversary.EDFWorstCase(b.D, b.Phases), nil
+	case "uniform":
+		return adversary.Construction{Trace: workload.Uniform(cfg)}, nil
+	case "zipf":
+		return adversary.Construction{Trace: workload.Zipf(cfg, b.S)}, nil
+	case "bursty":
+		return adversary.Construction{Trace: workload.Bursty(cfg, b.On, b.Off, b.Burst)}, nil
+	case "single":
+		return adversary.Construction{Trace: workload.SingleChoice(cfg)}, nil
+	case "cchoice":
+		return adversary.Construction{Trace: workload.CChoice(cfg, b.C)}, nil
+	}
+	return adversary.Construction{}, fmt.Errorf("grid: unknown build kind %q", b.Kind)
+}
+
+// knownKinds mirrors the Construction switch for cheap validation without
+// materializing a trace.
+var knownKinds = map[string]bool{
+	"fix": true, "current": true, "fix_balance": true, "eager": true,
+	"balance": true, "universal": true, "universal_anyd": true,
+	"local_fix": true, "edf": true,
+	"uniform": true, "zipf": true, "bursty": true, "single": true, "cchoice": true,
+}
+
+// newStrategy returns a fresh instance of the named strategy — the same
+// registry reqsched.Strategies exposes (global + local strategies) — or nil.
+func newStrategy(name string) core.Strategy {
+	if s, ok := strategies.New()[name]; ok {
+		return s
+	}
+	for _, s := range []core.Strategy{local.NewFix(), local.NewEager(), local.NewEagerWide()} {
+		if s.Name() == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Validate checks that the spec names a known build kind and strategy without
+// generating the input — the cheap pre-flight the runners do on the whole
+// manifest before any work starts.
+func (s Spec) Validate() error {
+	if !knownKinds[s.Build.Kind] {
+		return fmt.Errorf("grid: unknown build kind %q", s.Build.Kind)
+	}
+	if newStrategy(s.Strategy) == nil {
+		return fmt.Errorf("grid: unknown strategy %q", s.Strategy)
+	}
+	return nil
+}
+
+// Job is one manifest entry: a spec plus its deterministic ID and its row
+// position in the grid's output.
+type Job struct {
+	// Index is the job's position in the manifest (the output row order).
+	Index int `json:"index"`
+	// ID is the content-derived job identity the journal is keyed by.
+	ID string `json:"id"`
+	// Name is a human-readable label for logs and failure reports; it does
+	// not participate in the ID.
+	Name string `json:"name,omitempty"`
+	// Spec is the serializable job description.
+	Spec Spec `json:"spec"`
+}
+
+// specID derives the deterministic job ID: a truncated SHA-256 over the
+// spec's canonical JSON encoding (struct field order is fixed, zero-valued
+// parameters are omitted), salted with the occurrence counter when the same
+// spec appears more than once in a manifest.
+func specID(s Spec, occurrence int) string {
+	b, err := json.Marshal(s)
+	if err != nil { // a Spec is plain data; Marshal cannot fail
+		panic(fmt.Sprintf("grid: marshal spec: %v", err))
+	}
+	if occurrence > 0 {
+		b = append(b, fmt.Sprintf("#%d", occurrence)...)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// BuildManifest turns named specs into a validated manifest with
+// deterministic IDs. names may be nil (unnamed jobs) or must match specs in
+// length. Duplicate specs get occurrence-salted IDs, so every manifest entry
+// is individually addressable in the journal.
+func BuildManifest(specs []Spec, names []string) ([]Job, error) {
+	if names != nil && len(names) != len(specs) {
+		return nil, fmt.Errorf("grid: %d names for %d specs", len(names), len(specs))
+	}
+	jobs := make([]Job, len(specs))
+	seen := make(map[string]int, len(specs))
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("grid: job %d: %w", i, err)
+		}
+		base := specID(s, 0)
+		id := base
+		if n := seen[base]; n > 0 {
+			id = specID(s, n)
+		}
+		seen[base]++
+		jobs[i] = Job{Index: i, ID: id, Spec: s}
+		if names != nil {
+			jobs[i].Name = names[i]
+		}
+	}
+	return jobs, nil
+}

@@ -1,0 +1,93 @@
+package grid
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildManifestDeterministicIDs(t *testing.T) {
+	specs := []Spec{
+		{Strategy: "A_fix", Build: BuildSpec{Kind: "fix", D: 4, Phases: 8}},
+		{Strategy: "A_current", Build: BuildSpec{Kind: "current", L: 3, Phases: 5}},
+	}
+	a, err := BuildManifest(specs, []string{"fix4", "cur3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildManifest(specs, []string{"fix4", "cur3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("job %d: ID not deterministic: %s vs %s", i, a[i].ID, b[i].ID)
+		}
+		if a[i].Index != i {
+			t.Fatalf("job %d has Index %d", i, a[i].Index)
+		}
+		if len(a[i].ID) != 16 {
+			t.Fatalf("job %d: ID %q is not 16 hex chars", i, a[i].ID)
+		}
+	}
+	if a[0].ID == a[1].ID {
+		t.Fatal("distinct specs share an ID")
+	}
+	// IDs derive from content, not position: reordering preserves them.
+	rev, err := BuildManifest([]Spec{specs[1], specs[0]}, []string{"cur3", "fix4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev[0].ID != a[1].ID || rev[1].ID != a[0].ID {
+		t.Fatal("IDs changed when the manifest was reordered")
+	}
+}
+
+func TestBuildManifestSaltsDuplicateSpecs(t *testing.T) {
+	s := Spec{Strategy: "A_fix", Build: BuildSpec{Kind: "fix", D: 4, Phases: 8}}
+	jobs, err := BuildManifest([]Spec{s, s, s}, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if seen[j.ID] {
+			t.Fatalf("duplicate spec produced duplicate ID %s", j.ID)
+		}
+		seen[j.ID] = true
+	}
+	// Salting is itself deterministic.
+	again, err := BuildManifest([]Spec{s, s, s}, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if jobs[i].ID != again[i].ID {
+			t.Fatalf("salted ID %d not stable", i)
+		}
+	}
+}
+
+func TestSpecValidateRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"unknown_strategy", Spec{Strategy: "nope", Build: BuildSpec{Kind: "fix", D: 2, Phases: 1}}, "strategy"},
+		{"unknown_kind", Spec{Strategy: "A_fix", Build: BuildSpec{Kind: "mystery", D: 2}}, "kind"},
+		{"empty_kind", Spec{Strategy: "A_fix"}, "kind"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	if _, err := BuildManifest([]Spec{{Strategy: "nope", Build: BuildSpec{Kind: "fix", D: 2}}}, []string{"x"}); err == nil {
+		t.Error("BuildManifest accepted an invalid spec")
+	}
+}

@@ -1,0 +1,448 @@
+package grid
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"reqsched/internal/ratio"
+)
+
+// Options configures the subprocess supervisor.
+type Options struct {
+	// Workers is the number of worker subprocesses (<= 0: 1).
+	Workers int
+	// WorkerCmd is the argv spawning one worker (required). The worker must
+	// speak the gridworker JSONL protocol on stdin/stdout.
+	WorkerCmd []string
+	// WorkerEnv is appended to the inherited environment of each worker.
+	WorkerEnv []string
+	// Journal, when non-nil, receives every verified record as it completes.
+	Journal *Journal
+	// Done holds journaled records from a previous run (by job ID); their
+	// cells are folded without re-running.
+	Done map[string]Record
+	// JobTimeout is the per-job wall-clock deadline (default 5m).
+	JobTimeout time.Duration
+	// Heartbeat is the maximum silence before a worker is declared dead and
+	// reaped (default 15s). It must comfortably exceed the worker's beat
+	// interval.
+	Heartbeat time.Duration
+	// Retries is how many times a failed cell is re-attempted after its
+	// first failure before being marked failed (0: default 3; negative:
+	// no retries).
+	Retries int
+	// BackoffBase and BackoffMax shape the exponential retry backoff
+	// (defaults 100ms and 5s); Seed seeds its jitter.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	Seed        int64
+	// Log receives worker stderr and supervisor diagnostics (nil: discard).
+	Log io.Writer
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Workers <= 0 {
+		out.Workers = 1
+	}
+	if out.JobTimeout <= 0 {
+		out.JobTimeout = 5 * time.Minute
+	}
+	if out.Heartbeat <= 0 {
+		out.Heartbeat = 15 * time.Second
+	}
+	if out.Retries < 0 {
+		out.Retries = 0
+	} else if out.Retries == 0 {
+		out.Retries = 3
+	}
+	if out.BackoffBase <= 0 {
+		out.BackoffBase = 100 * time.Millisecond
+	}
+	if out.BackoffMax <= 0 {
+		out.BackoffMax = 5 * time.Second
+	}
+	if out.Log == nil {
+		out.Log = io.Discard
+	}
+	return out
+}
+
+// Failure is one grid cell that exhausted its retry budget. The grid still
+// completes: sibling cells are unaffected, and the failure is reported
+// explicitly instead of poisoning or silently dropping the row.
+type Failure struct {
+	Index    int
+	ID       string
+	Name     string
+	Attempts int
+	Err      string
+}
+
+// Report is the outcome of a grid run: measurements by manifest index (zero
+// where Done[i] is false), provenance counters, and the explicit failure
+// list.
+type Report struct {
+	Measurements []ratio.Measurement
+	Done         []bool
+	// FromJournal counts cells folded from the checkpoint journal without
+	// re-running; Retried counts re-attempts after failures.
+	FromJournal int
+	Retried     int
+	Failures    []Failure
+}
+
+// AllDone reports whether every cell completed.
+func (r *Report) AllDone() bool {
+	for _, d := range r.Done {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// FailureReport formats the failed cells for humans; empty when none failed.
+func (r *Report) FailureReport() string {
+	if len(r.Failures) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "grid: %d of %d cells failed after retries:\n", len(r.Failures), len(r.Done))
+	for _, f := range r.Failures {
+		name := f.Name
+		if name == "" {
+			name = f.ID
+		}
+		fmt.Fprintf(&b, "  cell %d (%s): %d attempts, last error: %s\n", f.Index, name, f.Attempts, f.Err)
+	}
+	return b.String()
+}
+
+// fold seeds a report with journaled records and returns the indices still
+// pending. A journaled record is re-verified before it is trusted — a
+// corrupted checkpoint re-runs its cell rather than poisoning the grid.
+func fold(jobs []Job, done map[string]Record) (*Report, []int, error) {
+	rep := &Report{
+		Measurements: make([]ratio.Measurement, len(jobs)),
+		Done:         make([]bool, len(jobs)),
+	}
+	var pending []int
+	for i, job := range jobs {
+		if job.Index != i {
+			return nil, nil, fmt.Errorf("grid: job %d has index %d (manifest must be in index order)", i, job.Index)
+		}
+		if err := job.Spec.Validate(); err != nil {
+			return nil, nil, err
+		}
+		if rec, ok := done[job.ID]; ok && rec.Verify() == nil {
+			rep.Measurements[i] = rec.M.ToMeasurement()
+			rep.Done[i] = true
+			rep.FromJournal++
+			continue
+		}
+		pending = append(pending, i)
+	}
+	return rep, pending, nil
+}
+
+// procLine is one parsed worker stdout line, or the read error that ended
+// the stream.
+type procLine struct {
+	out workerOut
+	err error
+}
+
+// proc is one live worker subprocess.
+type proc struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	lines chan procLine
+}
+
+func spawnWorker(o *Options) (*proc, error) {
+	if len(o.WorkerCmd) == 0 {
+		return nil, errors.New("grid: no worker command configured")
+	}
+	cmd := exec.Command(o.WorkerCmd[0], o.WorkerCmd[1:]...)
+	cmd.Env = append(os.Environ(), o.WorkerEnv...)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = o.Log
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("grid: spawn worker: %w", err)
+	}
+	p := &proc{cmd: cmd, stdin: stdin, lines: make(chan procLine, 4)}
+	go func() {
+		defer close(p.lines)
+		sc := bufio.NewScanner(stdout)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			var out workerOut
+			if err := json.Unmarshal(sc.Bytes(), &out); err != nil {
+				// A worker emitting unparseable lines is sick: report and
+				// stop reading; the supervisor reaps and respawns.
+				p.lines <- procLine{err: fmt.Errorf("unparseable worker line: %w", err)}
+				return
+			}
+			p.lines <- procLine{out: out}
+		}
+		if err := sc.Err(); err != nil {
+			p.lines <- procLine{err: err}
+		}
+	}()
+	return p, nil
+}
+
+// send writes one job line to the worker.
+func (p *proc) send(job Job) error {
+	line, err := json.Marshal(workerIn{Job: &job})
+	if err != nil {
+		return err
+	}
+	_, err = p.stdin.Write(append(line, '\n'))
+	return err
+}
+
+// kill tears the worker down and reaps it.
+func (p *proc) kill() {
+	p.stdin.Close()
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+	}
+	p.cmd.Wait()
+	// Drain the reader goroutine so it can exit.
+	for range p.lines {
+	}
+}
+
+// slot is one supervisor worker slot: it owns at most one live subprocess
+// and replaces it after any failure (a worker that timed out, died, or
+// returned a bad record is never trusted with another job).
+type slot struct {
+	opts *Options
+	p    *proc
+}
+
+func (s *slot) ensure() error {
+	if s.p != nil {
+		return nil
+	}
+	p, err := spawnWorker(s.opts)
+	if err != nil {
+		return err
+	}
+	s.p = p
+	return nil
+}
+
+func (s *slot) recycle() {
+	if s.p != nil {
+		s.p.kill()
+		s.p = nil
+	}
+}
+
+// resetTimer safely re-arms a timer for d.
+func resetTimer(t *time.Timer, d time.Duration) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	t.Reset(d)
+}
+
+// attempt runs one job on the slot's worker once, enforcing the wall-clock
+// deadline and heartbeat liveness, and re-verifying the returned record
+// (digest + OPT/ALG invariants) before trusting it.
+func (s *slot) attempt(ctx context.Context, job Job) (Record, error) {
+	if err := s.ensure(); err != nil {
+		return Record{}, err
+	}
+	if err := s.p.send(job); err != nil {
+		return Record{}, fmt.Errorf("send job: %w", err)
+	}
+	deadline := time.NewTimer(s.opts.JobTimeout)
+	defer deadline.Stop()
+	hb := time.NewTimer(s.opts.Heartbeat)
+	defer hb.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return Record{}, ctx.Err()
+		case pl, ok := <-s.p.lines:
+			if !ok {
+				return Record{}, errors.New("worker exited mid-job")
+			}
+			if pl.err != nil {
+				return Record{}, fmt.Errorf("worker stream: %w", pl.err)
+			}
+			out := pl.out
+			switch {
+			case out.HB != "":
+				if out.HB == job.ID {
+					resetTimer(hb, s.opts.Heartbeat)
+				}
+				// Stale beats from a previous job are ignored: they prove the
+				// process is alive but not that OUR job is progressing.
+			case out.Err != nil:
+				if out.Err.ID != job.ID {
+					return Record{}, fmt.Errorf("error for wrong job %s (want %s)", out.Err.ID, job.ID)
+				}
+				return Record{}, fmt.Errorf("worker job error: %s", out.Err.Msg)
+			case out.Result != nil:
+				rec := *out.Result
+				if rec.ID != job.ID {
+					return Record{}, fmt.Errorf("result for wrong job %s (want %s)", rec.ID, job.ID)
+				}
+				if err := rec.Verify(); err != nil {
+					return Record{}, fmt.Errorf("rejected worker record: %w", err)
+				}
+				return rec, nil
+			}
+		case <-deadline.C:
+			return Record{}, fmt.Errorf("job deadline %s exceeded", s.opts.JobTimeout)
+		case <-hb.C:
+			return Record{}, fmt.Errorf("no heartbeat within %s", s.opts.Heartbeat)
+		}
+	}
+}
+
+// runJob drives one job through the retry loop: exponential backoff with
+// jitter between attempts, a fresh worker after every failure, and a bounded
+// budget after which the cell is marked failed. It returns the verified
+// record, the number of attempts made, and the last error if the budget ran
+// out.
+func (s *slot) runJob(ctx context.Context, job Job, backoff func(attempt int) time.Duration) (Record, int, error) {
+	var lastErr error
+	for attempt := 0; attempt <= s.opts.Retries; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(backoff(attempt))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return Record{}, attempt, errors.Join(lastErr, ctx.Err())
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return Record{}, attempt, errors.Join(lastErr, err)
+		}
+		rec, err := s.attempt(ctx, job)
+		if err == nil {
+			return rec, attempt + 1, nil
+		}
+		lastErr = err
+		s.recycle()
+	}
+	return Record{}, s.opts.Retries + 1, lastErr
+}
+
+// Run executes the manifest on a pool of worker subprocesses, journaling
+// every verified record as it completes. Cells already present (and
+// verifiable) in opts.Done are folded without re-running, which is what
+// makes an interrupted grid resume bit-identically. Cancellation stops
+// dispatching and returns ctx's error with the partial report — everything
+// already journaled survives. Cells that exhaust their retry budget appear
+// in Report.Failures; Run only returns a non-ctx error for infrastructure
+// failures (unspawnable workers with nothing completed, journal write
+// errors).
+func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
+	o := opts.withDefaults()
+	rep, pending, err := fold(jobs, o.Done)
+	if err != nil {
+		return nil, err
+	}
+	if len(pending) == 0 {
+		return rep, ctx.Err()
+	}
+	workers := o.Workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
+	var mu sync.Mutex // guards rep, hardErrs, rng
+	var hardErrs []error
+	rng := rand.New(rand.NewSource(o.Seed))
+	backoff := func(attempt int) time.Duration {
+		d := o.BackoffBase << (attempt - 1)
+		if d > o.BackoffMax || d <= 0 {
+			d = o.BackoffMax
+		}
+		mu.Lock()
+		j := time.Duration(rng.Int63n(int64(d)/2 + 1))
+		mu.Unlock()
+		return d + j
+	}
+
+	queue := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := &slot{opts: &o}
+			defer s.recycle()
+			for idx := range queue {
+				rec, attempts, err := s.runJob(ctx, jobs[idx], backoff)
+				mu.Lock()
+				rep.Retried += attempts - 1
+				if err != nil {
+					if ctx.Err() == nil {
+						rep.Failures = append(rep.Failures, Failure{
+							Index: idx, ID: jobs[idx].ID, Name: jobs[idx].Name,
+							Attempts: attempts, Err: err.Error(),
+						})
+						fmt.Fprintf(o.Log, "grid: cell %d (%s) failed after %d attempts: %v\n",
+							idx, jobs[idx].ID, attempts, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				rep.Measurements[idx] = rec.M.ToMeasurement()
+				rep.Done[idx] = true
+				mu.Unlock()
+				if jerr := o.Journal.Append(rec); jerr != nil {
+					mu.Lock()
+					hardErrs = append(hardErrs, jerr)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+dispatch:
+	for _, idx := range pending {
+		select {
+		case queue <- idx:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(queue)
+	wg.Wait()
+
+	sort.Slice(rep.Failures, func(i, j int) bool { return rep.Failures[i].Index < rep.Failures[j].Index })
+	if len(hardErrs) > 0 {
+		return rep, errors.Join(hardErrs...)
+	}
+	return rep, ctx.Err()
+}

@@ -1,0 +1,108 @@
+package ratio
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"reqsched/internal/adversary"
+	"reqsched/internal/core"
+	"reqsched/internal/strategies"
+	"reqsched/internal/workload"
+)
+
+func ctxTestJob(seed int64) Job {
+	return Job{
+		Name: "ctx job",
+		Build: func() adversary.Construction {
+			return adversary.Construction{Trace: workload.Uniform(workload.Config{
+				N: 3, D: 2, Rounds: 10, Rate: 3, Seed: seed,
+			})}
+		},
+		Strategy: func() core.Strategy { return nil },
+	}
+}
+
+func measureJob(seed int64, mk func() core.Strategy) Job {
+	j := ctxTestJob(seed)
+	j.Strategy = mk
+	return j
+}
+
+func TestRunStreamCtxCancelDrainsCompletedWork(t *testing.T) {
+	// Cancel after the third emission: everything already emitted stays, the
+	// emitted prefix is contiguous in job order, and the error reports the
+	// cancellation. The producer must stop — the stream is infinite, so a
+	// missed cancellation hangs the test.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var produced atomic.Int64
+	var emitted []int
+	err := RunStreamCtx(ctx, func(i int) (Job, bool) {
+		produced.Add(1)
+		return measureJob(int64(i), func() core.Strategy { return strategies.NewFix() }), true
+	}, 2, func(i int, m Measurement) {
+		emitted = append(emitted, i)
+		if len(emitted) == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in error, got %v", err)
+	}
+	if len(emitted) < 3 {
+		t.Fatalf("only %d emissions before cancel", len(emitted))
+	}
+	for i, v := range emitted {
+		if v != i {
+			t.Fatalf("emission order broken: %v", emitted)
+		}
+	}
+	// The gate bounds in-flight work, so production can't run away past the
+	// cancellation point by more than the pool's window.
+	if p := produced.Load(); p > int64(len(emitted))+2*2+1 {
+		t.Fatalf("producer generated %d jobs for %d emissions after cancel", p, len(emitted))
+	}
+}
+
+func TestRunParallelCtxCancelKeepsFinishedJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before dispatch: no job should run
+	jobs := make([]Job, 8)
+	var ran atomic.Int64
+	for i := range jobs {
+		seed := int64(i)
+		jobs[i] = measureJob(seed, func() core.Strategy {
+			ran.Add(1)
+			return strategies.NewFix()
+		})
+	}
+	out, err := RunParallelCtx(ctx, jobs, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if len(out) != len(jobs) {
+		t.Fatalf("got %d slots, want %d", len(out), len(jobs))
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d jobs ran despite pre-cancelled context", ran.Load())
+	}
+}
+
+func TestRunParallelCtxBackgroundMatchesChecked(t *testing.T) {
+	jobs := []Job{
+		measureJob(1, func() core.Strategy { return strategies.NewFix() }),
+		measureJob(2, func() core.Strategy { return strategies.NewFix() }),
+	}
+	a, errA := RunParallelChecked(jobs, 2)
+	b, errB := RunParallelCtx(context.Background(), jobs, 2)
+	if errA != nil || errB != nil {
+		t.Fatalf("errs: %v / %v", errA, errB)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package ratio
+
+import (
+	"math"
+	"strconv"
+)
+
+// FormatRatio renders a measured competitive ratio with the given number of
+// decimals, spelling starvation out as "inf" (the strategy served nothing
+// while OPT served something) instead of a misleading numeric value, and NaN
+// (0/0 style degenerate aggregates) as "NaN". It is the one formatting rule
+// shared by every CSV- and table-emitting tool, so grid resume runs compare
+// byte-identically to uninterrupted ones.
+func FormatRatio(r float64, decimals int) string {
+	switch {
+	case math.IsInf(r, 1):
+		return "inf"
+	case math.IsInf(r, -1):
+		return "-inf"
+	case math.IsNaN(r):
+		return "NaN"
+	}
+	return strconv.FormatFloat(r, 'f', decimals, 64)
+}

@@ -1,0 +1,44 @@
+package ratio
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestFormatRatio(t *testing.T) {
+	cases := []struct {
+		r        float64
+		decimals int
+		want     string
+	}{
+		{math.Inf(1), 6, "inf"},
+		{math.Inf(1), 4, "inf"},
+		{math.Inf(-1), 6, "-inf"},
+		{math.NaN(), 6, "NaN"},
+		{1, 6, "1.000000"},
+		{4.0 / 3.0, 6, "1.333333"},
+		{1.75, 4, "1.7500"},
+		{0, 4, "0.0000"},
+		{2 - 1.0/60, 6, "1.983333"},
+	}
+	for _, c := range cases {
+		if got := FormatRatio(c.r, c.decimals); got != c.want {
+			t.Errorf("FormatRatio(%v, %d) = %q, want %q", c.r, c.decimals, got, c.want)
+		}
+	}
+}
+
+func TestFormatRatioMatchesPrintf(t *testing.T) {
+	// The finite path must be byte-identical to the fmt verbs the CLI tools
+	// historically used (%.6f in sweep, %.4f in schedsim), so swapping them
+	// for the shared helper changes no output.
+	for _, r := range []float64{1, 1.5, 4.0 / 3.0, 1.9833333333, 0.123456789, 173.0 / 97} {
+		if got, want := FormatRatio(r, 6), fmt.Sprintf("%.6f", r); got != want {
+			t.Errorf("FormatRatio(%v, 6) = %q, want %q", r, got, want)
+		}
+		if got, want := FormatRatio(r, 4), fmt.Sprintf("%.4f", r); got != want {
+			t.Errorf("FormatRatio(%v, 4) = %q, want %q", r, got, want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package ratio
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -69,6 +70,16 @@ func RunParallel(jobs []Job, workers int) []Measurement {
 // in job order either way (failed jobs leave their zero value); the error
 // joins one *JobPanic per failed job, in job order.
 func RunParallelChecked(jobs []Job, workers int) ([]Measurement, error) {
+	return RunParallelCtx(context.Background(), jobs, workers)
+}
+
+// RunParallelCtx is RunParallelChecked with cooperative cancellation: when
+// ctx is cancelled, no further jobs are dispatched, but jobs already running
+// drain to completion and their measurements are kept — so a SIGINT-driven
+// caller loses no finished work. The returned error then includes ctx's
+// error alongside any per-job panics; undispatched jobs keep their zero
+// Measurement.
+func RunParallelCtx(ctx context.Context, jobs []Job, workers int) ([]Measurement, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -77,9 +88,9 @@ func RunParallelChecked(jobs []Job, workers int) ([]Measurement, error) {
 	}
 	out := make([]Measurement, len(jobs))
 	if len(jobs) == 0 {
-		return out, nil
+		return out, ctx.Err()
 	}
-	errs := make([]error, len(jobs))
+	errs := make([]error, len(jobs), len(jobs)+1)
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -91,11 +102,19 @@ func RunParallelChecked(jobs []Job, workers int) ([]Measurement, error) {
 			}
 		}()
 	}
+dispatch:
 	for i := range jobs {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
 	return out, errors.Join(errs...)
 }
 

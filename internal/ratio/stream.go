@@ -1,6 +1,7 @@
 package ratio
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -26,6 +27,15 @@ import (
 // contributes one *JobPanic (in job order) to the joined error, sibling jobs
 // run to completion, and failed jobs are skipped by emit.
 func RunStreamChecked(next func(i int) (Job, bool), workers int, emit func(i int, m Measurement)) error {
+	return RunStreamCtx(context.Background(), next, workers, emit)
+}
+
+// RunStreamCtx is RunStreamChecked with cooperative cancellation: when ctx
+// is cancelled the producer stops generating jobs, in-flight jobs drain to
+// completion, and every finished measurement is still emitted in job order —
+// the property a SIGINT handler needs to flush a checkpoint journal without
+// dropping completed work. The returned error then includes ctx's error.
+func RunStreamCtx(ctx context.Context, next func(i int) (Job, bool), workers int, emit func(i int, m Measurement)) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -60,11 +70,22 @@ func RunStreamChecked(next func(i int) (Job, bool), workers int, emit func(i int
 	go func() {
 		defer close(tasks)
 		for i := 0; ; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			job, ok := next(i)
 			if !ok {
 				return
 			}
-			tickets <- struct{}{}
+			// Block on the ticket gate and cancellation together: a full gate
+			// must not delay the reaction to ctx. A ticket acquired here is
+			// always followed by the task send (workers are still draining),
+			// so the gate stays balanced.
+			select {
+			case tickets <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
 			tasks <- task{i, job}
 		}
 	}()
@@ -90,6 +111,9 @@ func RunStreamChecked(next func(i int) (Job, bool), workers int, emit func(i int
 			nextEmit++
 			<-tickets
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
 	}
 	return errors.Join(errs...)
 }

@@ -11,7 +11,10 @@
 package trace
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"iter"
@@ -127,26 +130,80 @@ type StreamRecord struct {
 // Deadline returns the last round the request may be served in.
 func (r StreamRecord) Deadline() int { return r.T + r.D - 1 }
 
+// TornTail reports a truncated final JSONL line — the signature of a crash
+// (or power loss) mid-append: every intact record ends with a newline, so an
+// unterminated last line can only be a partial write. Offset is the byte
+// offset at which the torn line starts; resume logic can truncate the file
+// there and treat the tail as absent instead of failing the whole file.
+type TornTail struct {
+	Offset int64
+}
+
+func (e *TornTail) Error() string {
+	return fmt.Sprintf("trace: torn final JSONL line at byte offset %d (truncated write)", e.Offset)
+}
+
+// ScanJSONLine reads one newline-terminated line from r, where off is the
+// byte offset of the line's start. It returns the line (without diagnosing
+// its JSON), the offset just past its newline, io.EOF on a clean end of
+// input (only whitespace remained), or a *TornTail when the input ends in an
+// unterminated line. It is the shared low-level scanner of the trace stream
+// reader and the grid checkpoint journal.
+func ScanJSONLine(r *bufio.Reader, off int64) (line []byte, next int64, err error) {
+	for {
+		line, err = r.ReadBytes('\n')
+		next = off + int64(len(line))
+		blank := len(bytes.TrimSpace(line)) == 0
+		if err == nil {
+			if blank { // skip whitespace-only lines between records
+				off = next
+				continue
+			}
+			return line, next, nil
+		}
+		if err == io.EOF {
+			if blank {
+				return nil, next, io.EOF
+			}
+			return nil, next, &TornTail{Offset: off}
+		}
+		return nil, next, err
+	}
+}
+
 // StreamReader decodes a JSONL trace stream record by record, validating each
-// against the header and the nondecreasing-arrival-order invariant.
+// against the header and the nondecreasing-arrival-order invariant. Records
+// are newline-terminated; an unterminated final line is reported as a
+// *TornTail naming its byte offset, so crash-resume callers can distinguish
+// a torn append from real corruption.
 type StreamReader struct {
-	dec   *json.Decoder
-	n, d  int
-	index int
-	lastT int
+	r      *bufio.Reader
+	n, d   int
+	index  int
+	lastT  int
+	offset int64
 }
 
 // NewStreamReader reads and validates the stream header.
 func NewStreamReader(r io.Reader) (*StreamReader, error) {
-	dec := json.NewDecoder(r)
+	sr := &StreamReader{r: bufio.NewReader(r)}
+	line, next, err := ScanJSONLine(sr.r, 0)
+	if err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("trace: stream header: %w", io.ErrUnexpectedEOF)
+		}
+		return nil, fmt.Errorf("trace: stream header: %w", err)
+	}
+	sr.offset = next
 	var h streamHeader
-	if err := dec.Decode(&h); err != nil {
+	if err := json.Unmarshal(line, &h); err != nil {
 		return nil, fmt.Errorf("trace: stream header: %w", err)
 	}
 	if h.N < 1 || h.D < 1 {
 		return nil, fmt.Errorf("trace: invalid stream header n=%d d=%d", h.N, h.D)
 	}
-	return &StreamReader{dec: dec, n: h.N, d: h.D}, nil
+	sr.n, sr.d = h.N, h.D
+	return sr, nil
 }
 
 // N returns the number of resources; D the default deadline window.
@@ -156,14 +213,27 @@ func (sr *StreamReader) D() int { return sr.d }
 // Count returns the number of records decoded so far.
 func (sr *StreamReader) Count() int { return sr.index }
 
+// Offset returns the byte offset just past the last fully consumed line —
+// the truncation point a resume should use when Next reports a *TornTail.
+func (sr *StreamReader) Offset() int64 { return sr.offset }
+
 // Next decodes and validates the next record. It returns io.EOF after the
-// last record.
+// last record, or a *TornTail if the stream ends in a truncated line.
 func (sr *StreamReader) Next() (StreamRecord, error) {
-	var rec fileRecord
-	if err := sr.dec.Decode(&rec); err != nil {
+	line, next, err := ScanJSONLine(sr.r, sr.offset)
+	if err != nil {
 		if err == io.EOF {
 			return StreamRecord{}, io.EOF
 		}
+		var torn *TornTail
+		if errors.As(err, &torn) {
+			return StreamRecord{}, err
+		}
+		return StreamRecord{}, fmt.Errorf("trace: stream request %d: %w", sr.index, err)
+	}
+	sr.offset = next
+	var rec fileRecord
+	if err := json.Unmarshal(line, &rec); err != nil {
 		return StreamRecord{}, fmt.Errorf("trace: stream request %d: %w", sr.index, err)
 	}
 	if err := checkRecord(sr.n, sr.index, rec.T, rec.D, rec.Alts); err != nil {

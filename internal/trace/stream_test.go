@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math/rand"
 	"strings"
@@ -172,6 +173,109 @@ func TestStreamReaderEOF(t *testing.T) {
 	}
 	if sr.Count() != 1 {
 		t.Fatalf("count %d", sr.Count())
+	}
+}
+
+func TestStreamReaderTornTail(t *testing.T) {
+	// A crash mid-append leaves an unterminated final line. The reader must
+	// return a *TornTail naming the byte offset where the torn line starts,
+	// after having delivered every intact record, so resume can truncate the
+	// tail and treat it as absent.
+	header := `{"n":2,"d":3}` + "\n"
+	rec := `{"t":1,"alts":[0,1]}` + "\n"
+	torn := `{"t":2,"alts":[0`
+	sr, err := NewStreamReader(strings.NewReader(header + rec + torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Next(); err != nil {
+		t.Fatalf("intact record before the torn tail rejected: %v", err)
+	}
+	_, err = sr.Next()
+	var tt *TornTail
+	if !errors.As(err, &tt) {
+		t.Fatalf("want *TornTail, got %v", err)
+	}
+	wantOff := int64(len(header) + len(rec))
+	if tt.Offset != wantOff {
+		t.Fatalf("torn offset %d, want %d", tt.Offset, wantOff)
+	}
+	if sr.Offset() != wantOff {
+		t.Fatalf("reader offset %d, want %d (truncation point)", sr.Offset(), wantOff)
+	}
+	if sr.Count() != 1 {
+		t.Fatalf("count %d, want 1", sr.Count())
+	}
+
+	// ReadStream surfaces the same error instead of silently dropping data.
+	if _, err := ReadStream(strings.NewReader(header + rec + torn)); !errors.As(err, &tt) {
+		t.Fatalf("ReadStream: want *TornTail, got %v", err)
+	}
+
+	// A torn header is reported too.
+	if _, err := NewStreamReader(strings.NewReader(`{"n":2`)); !errors.As(err, &tt) {
+		t.Fatalf("torn header: want *TornTail, got %v", err)
+	}
+
+	// Trailing whitespace after the final newline is a clean EOF, not a tear.
+	sr, err = NewStreamReader(strings.NewReader(header + rec + "  \n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("whitespace tail: want io.EOF, got %v", err)
+	}
+}
+
+func TestStreamReaderTornTailAtEveryByte(t *testing.T) {
+	// Truncating a valid stream at any byte position must yield either the
+	// full prefix of intact records plus io.EOF (cut exactly on a newline) or
+	// the prefix plus a *TornTail at the last newline — never a hard failure
+	// and never a phantom record.
+	rng := rand.New(rand.NewSource(7))
+	tr := gappedStreamTrace(rng, 3, 3, 3)
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	firstNL := bytes.IndexByte(full, '\n') + 1
+	for cut := firstNL; cut <= len(full); cut++ {
+		sr, err := NewStreamReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: header: %v", cut, err)
+		}
+		lastNL := bytes.LastIndexByte(full[:cut], '\n') + 1
+		n := 0
+		for {
+			_, err := sr.Next()
+			if err == io.EOF {
+				if cut != lastNL {
+					t.Fatalf("cut %d: clean EOF despite torn tail", cut)
+				}
+				break
+			}
+			var tt *TornTail
+			if errors.As(err, &tt) {
+				if cut == lastNL {
+					t.Fatalf("cut %d: TornTail despite newline-terminated input", cut)
+				}
+				if tt.Offset != int64(lastNL) {
+					t.Fatalf("cut %d: torn offset %d, want %d", cut, tt.Offset, lastNL)
+				}
+				break
+			}
+			if err != nil {
+				t.Fatalf("cut %d: %v", cut, err)
+			}
+			n++
+		}
+		if want := bytes.Count(full[firstNL:lastNL], []byte("\n")); n != want {
+			t.Fatalf("cut %d: decoded %d records, want %d", cut, n, want)
+		}
 	}
 }
 

@@ -350,6 +350,12 @@ func MeasureParallelChecked(jobs []MeasureJob, workers int) ([]Measurement, erro
 // name and index.
 type MeasureJobPanic = ratio.JobPanic
 
+// FormatRatio renders a measured competitive ratio with the given number of
+// decimals, spelling starvation out as "inf" and NaN as "NaN" instead of a
+// misleading numeric value — the one formatting rule shared by every CSV-
+// and table-emitting tool.
+func FormatRatio(r float64, decimals int) string { return ratio.FormatRatio(r, decimals) }
+
 // RatioSummary aggregates a strategy's empirical ratio over many seeds.
 type RatioSummary = ratio.Summary
 

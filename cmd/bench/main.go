@@ -1,336 +1,10 @@
-// Command bench records the engine's performance baseline as JSON. It runs
-// the BenchmarkEngine workload (uniform, N=16, D=6, 300 rounds, rate 18,
-// seed 11) through each strategy under testing.Benchmark and emits one entry
-// per strategy with ns/op, allocs/op, bytes/op and derived throughput, plus
-// an offline section benchmarking the segmented parallel optimum against the
-// monolithic solver on a million-request multi-segment trace. The checked-in
-// BENCH_engine.json is the reference the alloc-regression tests in
-// EXPERIMENTS.md compare against:
-//
-//	go run ./cmd/bench -out BENCH_engine.json
+// Command bench records the engine's performance baseline; see app.BenchMain.
 package main
 
 import (
-	"encoding/json"
-	"flag"
-	"fmt"
 	"os"
-	"runtime"
-	"testing"
-	"time"
 
-	"reqsched"
+	"reqsched/internal/app"
 )
 
-// Entry is one strategy's measured baseline.
-type Entry struct {
-	Strategy       string  `json:"strategy"`
-	NsPerOp        float64 `json:"ns_per_op"`
-	AllocsPerOp    int64   `json:"allocs_per_op"`
-	BytesPerOp     int64   `json:"bytes_per_op"`
-	RoundsPerSec   float64 `json:"rounds_per_sec"`
-	RequestsPerSec float64 `json:"requests_per_sec"`
-	Fulfilled      int     `json:"fulfilled"`
-}
-
-// OfflineEntry is one worker count's segmented-solver timing.
-type OfflineEntry struct {
-	Workers int     `json:"workers"`
-	NsPerOp float64 `json:"ns_per_op"`
-	// Speedup is monolithic ns / segmented ns at this worker count.
-	Speedup float64 `json:"speedup_vs_monolithic"`
-}
-
-// Offline records the segmented parallel offline optimum against the
-// monolithic Hopcroft–Karp solver on a gapped bursty trace (clean segment
-// cuts between bursts).
-type Offline struct {
-	Workload struct {
-		N         int     `json:"n"`
-		D         int     `json:"d"`
-		Rounds    int     `json:"rounds"`
-		On        int     `json:"on"`
-		Off       int     `json:"off"`
-		BurstRate float64 `json:"burst_rate"`
-		Seed      int64   `json:"seed"`
-		Requests  int     `json:"requests"`
-	} `json:"workload"`
-	Segments int `json:"segments"`
-	Optimum  int `json:"optimum"`
-	// GOMAXPROCS records the CPUs the timings ran on: with one visible CPU
-	// the speedup is algorithmic (many small matchings beat one monolithic
-	// run), not thread-level.
-	GOMAXPROCS   int            `json:"gomaxprocs"`
-	MonolithicNs float64        `json:"monolithic_ns_per_op"`
-	Entries      []OfflineEntry `json:"entries"`
-}
-
-// Weighted records the segmented weighted offline solvers (max profit,
-// min latency) against their monolithic min-cost-flow counterparts on a
-// gapped bursty trace with harmonic request weights. The monolithic solvers
-// run successive shortest paths over the whole graph and scale superlinearly
-// in the trace, so they are timed once (reps=1) and the min-latency pair runs
-// on a tenth of the profit workload to keep the harness bounded.
-type Weighted struct {
-	Workload struct {
-		N         int     `json:"n"`
-		D         int     `json:"d"`
-		Rounds    int     `json:"rounds"`
-		On        int     `json:"on"`
-		Off       int     `json:"off"`
-		BurstRate float64 `json:"burst_rate"`
-		Seed      int64   `json:"seed"`
-		MaxW      int     `json:"max_weight"`
-		Requests  int     `json:"requests"`
-	} `json:"workload"`
-	Segments   int `json:"segments"`
-	GOMAXPROCS int `json:"gomaxprocs"`
-	// MaxProfit section: the weighted optimum and per-worker-count timings.
-	Profit             int            `json:"profit"`
-	ProfitMonolithicNs float64        `json:"profit_monolithic_ns_per_op"`
-	ProfitEntries      []OfflineEntry `json:"profit_entries"`
-	// MinLatency section, on a smaller slice of the same workload shape.
-	MinLatencyRequests     int            `json:"min_latency_requests"`
-	MinLatency             int            `json:"min_latency"`
-	MinLatencyMonolithicNs float64        `json:"min_latency_monolithic_ns_per_op"`
-	MinLatencyEntries      []OfflineEntry `json:"min_latency_entries"`
-}
-
-// Baseline is the file format of BENCH_engine.json.
-type Baseline struct {
-	Workload struct {
-		N        int     `json:"n"`
-		D        int     `json:"d"`
-		Rounds   int     `json:"rounds"`
-		Rate     float64 `json:"rate"`
-		Seed     int64   `json:"seed"`
-		Requests int     `json:"requests"`
-	} `json:"workload"`
-	Entries  []Entry   `json:"entries"`
-	Offline  *Offline  `json:"offline,omitempty"`
-	Weighted *Weighted `json:"weighted,omitempty"`
-}
-
-// timeIt returns the fastest of reps timed runs of f in nanoseconds.
-func timeIt(reps int, f func()) float64 {
-	best := 0.0
-	for i := 0; i < reps; i++ {
-		start := time.Now()
-		f()
-		ns := float64(time.Since(start).Nanoseconds())
-		if best == 0 || ns < best {
-			best = ns
-		}
-	}
-	return best
-}
-
-// benchOffline measures the monolithic and segmented offline solvers on a
-// multi-segment trace of roughly `requests` requests.
-func benchOffline(requests int) *Offline {
-	// Bursts of 4 rounds at burstRate, then 8 silent rounds (> d-1): every
-	// burst is an independent segment.
-	const (
-		n, d      = 16, 4
-		on, off   = 4, 8
-		burstRate = 50.0
-		seed      = 5
-	)
-	rounds := requests * (on + off) / (on * int(burstRate))
-	cfg := reqsched.WorkloadConfig{N: n, D: d, Rounds: rounds, Rate: 0, Seed: seed}
-	tr := reqsched.Bursty(cfg, on, off, burstRate)
-
-	var o Offline
-	o.Workload.N = n
-	o.Workload.D = d
-	o.Workload.Rounds = rounds
-	o.Workload.On = on
-	o.Workload.Off = off
-	o.Workload.BurstRate = burstRate
-	o.Workload.Seed = seed
-	o.Workload.Requests = tr.NumRequests()
-	o.Segments = reqsched.TraceSegmentCount(tr)
-	o.GOMAXPROCS = runtime.GOMAXPROCS(0)
-
-	want := 0
-	o.MonolithicNs = timeIt(2, func() { want = reqsched.Optimum(tr) })
-	o.Optimum = want
-	for _, workers := range []int{1, 2, 4, 8} {
-		var got int
-		ns := timeIt(3, func() { got = reqsched.OptimumParallel(tr, workers) })
-		if got != want {
-			fmt.Fprintf(os.Stderr, "BUG: OptimumParallel(workers=%d) = %d, Optimum = %d\n", workers, got, want)
-			os.Exit(1)
-		}
-		o.Entries = append(o.Entries, OfflineEntry{
-			Workers: workers,
-			NsPerOp: ns,
-			Speedup: o.MonolithicNs / ns,
-		})
-		fmt.Fprintf(os.Stderr, "offline workers=%d %14.0f ns/op  speedup %.2fx\n",
-			workers, ns, o.MonolithicNs/ns)
-	}
-	return &o
-}
-
-// weightedWorkload builds the gapped bursty weighted trace the weighted
-// benchmarks run on, sized to roughly `requests` requests.
-func weightedWorkload(requests int) (*reqsched.Trace, int) {
-	const (
-		n, d      = 16, 4
-		on, off   = 4, 8
-		burstRate = 50.0
-		seed      = 5
-		maxW      = 8
-	)
-	rounds := requests * (on + off) / (on * int(burstRate))
-	cfg := reqsched.WorkloadConfig{N: n, D: d, Rounds: rounds, Rate: 0, Seed: seed}
-	return reqsched.WithWeights(reqsched.Bursty(cfg, on, off, burstRate), maxW, seed), rounds
-}
-
-// benchWeighted measures the monolithic and segmented weighted offline
-// solvers on a multi-segment weighted trace of roughly `requests` requests.
-func benchWeighted(requests int) *Weighted {
-	tr, rounds := weightedWorkload(requests)
-
-	var wt Weighted
-	wt.Workload.N = tr.N
-	wt.Workload.D = tr.D
-	wt.Workload.Rounds = rounds
-	wt.Workload.On = 4
-	wt.Workload.Off = 8
-	wt.Workload.BurstRate = 50.0
-	wt.Workload.Seed = 5
-	wt.Workload.MaxW = 8
-	wt.Workload.Requests = tr.NumRequests()
-	wt.Segments = reqsched.TraceSegmentCount(tr)
-	wt.GOMAXPROCS = runtime.GOMAXPROCS(0)
-
-	// Max profit. The monolithic successive-shortest-paths solver is
-	// superlinear in the trace (~40 min at 10^5 requests on one core), so one
-	// rep only.
-	want := 0
-	wt.ProfitMonolithicNs = timeIt(1, func() { want = reqsched.MaxProfit(tr) })
-	wt.Profit = want
-	fmt.Fprintf(os.Stderr, "weighted profit monolithic %14.0f ns/op\n", wt.ProfitMonolithicNs)
-	for _, workers := range []int{1, 2, 4, 8} {
-		var got int
-		ns := timeIt(3, func() { got = reqsched.MaxProfitParallel(tr, workers) })
-		if got != want {
-			fmt.Fprintf(os.Stderr, "BUG: MaxProfitParallel(workers=%d) = %d, MaxProfit = %d\n", workers, got, want)
-			os.Exit(1)
-		}
-		wt.ProfitEntries = append(wt.ProfitEntries, OfflineEntry{
-			Workers: workers, NsPerOp: ns, Speedup: wt.ProfitMonolithicNs / ns,
-		})
-		fmt.Fprintf(os.Stderr, "weighted profit workers=%d %14.0f ns/op  speedup %.2fx\n",
-			workers, ns, wt.ProfitMonolithicNs/ns)
-	}
-
-	// Min latency, same shape at a tenth of the size (its monolithic solver
-	// pushes every augmenting path, not just the profitable ones).
-	small, _ := weightedWorkload(requests / 10)
-	wt.MinLatencyRequests = small.NumRequests()
-	wantLat := 0
-	wt.MinLatencyMonolithicNs = timeIt(1, func() { _, wantLat = reqsched.OptimumMinLatency(small) })
-	wt.MinLatency = wantLat
-	fmt.Fprintf(os.Stderr, "weighted minlat monolithic %14.0f ns/op\n", wt.MinLatencyMonolithicNs)
-	for _, workers := range []int{1, 2, 4, 8} {
-		var gotLat int
-		ns := timeIt(3, func() { _, gotLat = reqsched.OptimumMinLatencyParallel(small, workers) })
-		if gotLat != wantLat {
-			fmt.Fprintf(os.Stderr, "BUG: OptimumMinLatencyParallel(workers=%d) = %d, OptimumMinLatency = %d\n", workers, gotLat, wantLat)
-			os.Exit(1)
-		}
-		wt.MinLatencyEntries = append(wt.MinLatencyEntries, OfflineEntry{
-			Workers: workers, NsPerOp: ns, Speedup: wt.MinLatencyMonolithicNs / ns,
-		})
-		fmt.Fprintf(os.Stderr, "weighted minlat workers=%d %14.0f ns/op  speedup %.2fx\n",
-			workers, ns, wt.MinLatencyMonolithicNs/ns)
-	}
-	return &wt
-}
-
-func main() {
-	out := flag.String("out", "", "output file (default stdout)")
-	benchtime := flag.Duration("benchtime", 0, "per-strategy benchmark time (default testing's 1s)")
-	offlineReqs := flag.Int("offline-requests", 1_000_000, "request count for the segmented-optimum benchmark (0 skips it)")
-	weightedReqs := flag.Int("weighted-requests", 100_000, "request count for the weighted-optima benchmark (0 skips it; the monolithic reference is superlinear — ~40 min at the default size)")
-	flag.Parse()
-	if *benchtime > 0 {
-		// testing.Benchmark honours the -test.benchtime flag.
-		flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ExitOnError)
-		testing.Init()
-		flag.Set("test.benchtime", benchtime.String())
-	}
-
-	cfg := reqsched.WorkloadConfig{N: 16, D: 6, Rounds: 300, Rate: 18, Seed: 11}
-	tr := reqsched.Uniform(cfg)
-
-	var base Baseline
-	base.Workload.N = cfg.N
-	base.Workload.D = cfg.D
-	base.Workload.Rounds = cfg.Rounds
-	base.Workload.Rate = cfg.Rate
-	base.Workload.Seed = cfg.Seed
-	base.Workload.Requests = tr.NumRequests()
-
-	for _, name := range []string{
-		"A_fix", "A_current", "A_fix_balance", "A_eager", "A_balance",
-		"EDF", "first_fit", "A_local_fix", "A_local_eager",
-	} {
-		name := name
-		var fulfilled int
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				res, err := reqsched.RunChecked(reqsched.StrategyByName(name), tr)
-				if err != nil {
-					b.Fatalf("run %s: %v", name, err)
-				}
-				fulfilled = res.Fulfilled
-			}
-		})
-		nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
-		opsPerSec := 0.0
-		if nsPerOp > 0 {
-			opsPerSec = 1e9 / nsPerOp
-		}
-		totalRounds := float64(tr.Horizon())
-		base.Entries = append(base.Entries, Entry{
-			Strategy:       name,
-			NsPerOp:        nsPerOp,
-			AllocsPerOp:    r.AllocsPerOp(),
-			BytesPerOp:     r.AllocedBytesPerOp(),
-			RoundsPerSec:   opsPerSec * totalRounds,
-			RequestsPerSec: opsPerSec * float64(tr.NumRequests()),
-			Fulfilled:      fulfilled,
-		})
-		fmt.Fprintf(os.Stderr, "%-16s %12.0f ns/op %8d allocs/op %10d B/op  served %d\n",
-			name, nsPerOp, r.AllocsPerOp(), r.AllocedBytesPerOp(), fulfilled)
-	}
-
-	if *offlineReqs > 0 {
-		base.Offline = benchOffline(*offlineReqs)
-	}
-	if *weightedReqs > 0 {
-		base.Weighted = benchWeighted(*weightedReqs)
-	}
-
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(&base); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-}
+func main() { os.Exit(app.BenchMain(os.Args[1:], os.Stdout, os.Stderr)) }

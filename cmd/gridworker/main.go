@@ -1,38 +1,11 @@
 // Command gridworker is the subprocess half of the fault-tolerant sweep
-// grid: it speaks the grid JSONL protocol on stdin/stdout — one job line in,
-// heartbeat lines while measuring, one sealed result (or error) line out per
-// job — and exits 0 on stdin EOF. The supervisor (internal/grid.Run, wired
-// through `sweep -shard N`) spawns a pool of these, enforces per-job
-// deadlines and heartbeat liveness, and re-verifies every returned record,
-// so a worker that OOMs, hangs, or corrupts its output costs one retry, not
-// the grid.
-//
-// The chaos environment variables GRID_CHAOS / GRID_CHAOS_ONCE (see
-// internal/grid/chaos) arm deterministic fault injection for the failure
-// property tests; production runs leave them unset.
+// grid; see app.GridworkerMain.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"time"
 
-	"reqsched/internal/grid"
-	"reqsched/internal/grid/chaos"
+	"reqsched/internal/app"
 )
 
-func main() {
-	hb := flag.Duration("hb", 2*time.Second, "heartbeat interval while a job is running")
-	flag.Parse()
-
-	faults, err := chaos.FromEnv()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	if err := grid.WorkerMain(os.Stdin, os.Stdout, *hb, faults); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-}
+func main() { os.Exit(app.GridworkerMain(os.Args[1:], os.Stdout, os.Stderr)) }

@@ -1,65 +1,10 @@
-// Command lowerbounds shows the convergence of each adversarial
-// construction: the measured ratio OPT/ALG as a function of the number of
-// phases, approaching the theorem's bound from below. With -csv it emits
-// machine-readable series (construction, phases, opt, alg, ratio, bound) for
-// plotting.
+// Command lowerbounds plots lower-bound convergence; see app.LowerboundsMain.
 package main
 
 import (
-	"flag"
-	"fmt"
+	"os"
 
-	"reqsched"
+	"reqsched/internal/app"
 )
 
-func main() {
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
-	flag.Parse()
-
-	phaseCounts := []int{2, 5, 10, 20, 40, 80, 160}
-
-	type series struct {
-		name  string
-		mk    func() reqsched.Strategy
-		build func(phases int) reqsched.Construction
-	}
-	all := []series{
-		{"fix(d=4) Thm2.1", reqsched.NewAFix,
-			func(p int) reqsched.Construction { return reqsched.AdversaryFix(4, p) }},
-		{"current(l=5) Thm2.2", reqsched.NewACurrent,
-			func(p int) reqsched.Construction { return reqsched.AdversaryCurrent(5, p) }},
-		{"fix_balance(d=8) Thm2.3", reqsched.NewAFixBalance,
-			func(p int) reqsched.Construction { return reqsched.AdversaryFixBalance(8, p) }},
-		{"eager(d=4) Thm2.4", reqsched.NewAEager,
-			func(p int) reqsched.Construction { return reqsched.AdversaryEager(4, p) }},
-		{"balance(x=2,k=32) Thm2.5", reqsched.NewABalance,
-			func(p int) reqsched.Construction { return reqsched.AdversaryBalance(2, 32, p) }},
-		{"universal(d=6) Thm2.6 vs A_balance", reqsched.NewABalance,
-			func(p int) reqsched.Construction { return reqsched.AdversaryUniversal(6, p) }},
-		{"local_fix(d=4) Thm3.7", reqsched.NewALocalFix,
-			func(p int) reqsched.Construction { return reqsched.AdversaryLocalFix(4, p) }},
-		{"edf_worst(d=4) Obs3.2", reqsched.NewEDF,
-			func(p int) reqsched.Construction { return reqsched.AdversaryEDF(4, p) }},
-	}
-
-	if *csv {
-		fmt.Println("construction,phases,opt,alg,ratio,bound")
-	}
-	for _, s := range all {
-		if !*csv {
-			fmt.Printf("%s (bound %.4f)\n", s.name, s.build(1).Bound)
-		}
-		for _, p := range phaseCounts {
-			c := s.build(p)
-			m := reqsched.MeasureConstruction(c, s.mk())
-			if *csv {
-				fmt.Printf("%s,%d,%d,%d,%.6f,%.6f\n", s.name, p, m.OPT, m.ALG, m.Ratio(), c.Bound)
-			} else {
-				fmt.Printf("  phases=%4d  OPT=%7d  ALG=%7d  ratio=%.4f\n", p, m.OPT, m.ALG, m.Ratio())
-			}
-		}
-		if !*csv {
-			fmt.Println()
-		}
-	}
-}
+func main() { os.Exit(app.LowerboundsMain(os.Args[1:], os.Stdout, os.Stderr)) }

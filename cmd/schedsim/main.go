@@ -1,197 +1,11 @@
-// Command schedsim runs one or all strategies over a synthetic workload and
-// reports throughput, loss, latency, per-resource balance, communication
-// cost, and the empirical competitive ratio against the offline optimum.
-//
-// Usage examples:
-//
-//	schedsim -workload uniform -n 8 -d 4 -rounds 200 -rate 9
-//	schedsim -workload video -items 100 -zipf 1.2 -strategy A_balance
-//	schedsim -workload bursty -on 5 -off 10 -burst 25 -all
+// Command schedsim simulates strategies on synthetic workloads; see
+// app.SchedsimMain.
 package main
 
 import (
-	"flag"
-	"fmt"
-	"math"
 	"os"
-	"sort"
 
-	"reqsched"
-	"reqsched/internal/experiment"
+	"reqsched/internal/app"
 )
 
-func main() {
-	var (
-		wl       = flag.String("workload", "uniform", "uniform | zipf | bursty | video | single | cchoice")
-		n        = flag.Int("n", 8, "resources")
-		d        = flag.Int("d", 4, "deadline window")
-		rounds   = flag.Int("rounds", 200, "rounds with arrivals")
-		rate     = flag.Float64("rate", 0, "mean arrivals/round (default n)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		zipfS    = flag.Float64("zipf", 1.4, "zipf exponent (zipf/video)")
-		items    = flag.Int("items", 100, "catalog size (video)")
-		on       = flag.Int("on", 5, "burst length (bursty)")
-		off      = flag.Int("off", 10, "quiet length (bursty)")
-		burst    = flag.Float64("burst", 0, "burst arrivals/round (default 3n)")
-		choices  = flag.Int("c", 3, "alternatives per request (cchoice)")
-		strategy = flag.String("strategy", "", "run a single strategy by name")
-		all      = flag.Bool("all", false, "run every strategy (default when -strategy empty)")
-		series   = flag.Bool("series", false, "emit per-round CSV for the selected strategy instead of the summary")
-		seeds    = flag.Int("seeds", 1, "aggregate over this many seeds (mean±std instead of one run)")
-		config   = flag.String("config", "", "run a declarative JSON experiment suite instead of flags")
-		workers  = flag.Int("workers", 0, "worker pool for multi-seed runs and the offline optimum (<= 0: GOMAXPROCS)")
-	)
-	flag.Parse()
-
-	if *config != "" {
-		f, err := os.Open(*config)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		suite, err := experiment.Load(f)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if *workers != 0 {
-			suite.Workers = *workers
-		}
-		rep, err := suite.Run()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Print(rep.Format())
-		return
-	}
-	if *rate == 0 {
-		*rate = float64(*n)
-	}
-	if *burst == 0 {
-		*burst = 3 * float64(*n)
-	}
-
-	gen := func(seed int64) *reqsched.Trace {
-		cfg := reqsched.WorkloadConfig{N: *n, D: *d, Rounds: *rounds, Rate: *rate, Seed: seed}
-		switch *wl {
-		case "uniform":
-			return reqsched.Uniform(cfg)
-		case "zipf":
-			return reqsched.Zipf(cfg, *zipfS)
-		case "bursty":
-			return reqsched.Bursty(cfg, *on, *off, *burst)
-		case "video":
-			return reqsched.VideoServer(cfg, *items, *zipfS)
-		case "single":
-			return reqsched.SingleChoice(cfg)
-		case "cchoice":
-			return reqsched.CChoice(cfg, *choices)
-		}
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
-		os.Exit(2)
-		return nil
-	}
-	tr := gen(*seed)
-
-	if *seeds > 1 {
-		fmt.Printf("workload %s aggregated over %d seeds\n\n", *wl, *seeds)
-		names := strategyNames(*strategy, *all)
-		for _, name := range names {
-			name := name
-			sum, err := reqsched.SummarizeParallel(
-				func() reqsched.Strategy { return reqsched.StrategyByName(name) },
-				gen, *seeds, *workers)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Println(sum)
-		}
-		return
-	}
-
-	if *series {
-		name := *strategy
-		if name == "" {
-			name = "A_balance"
-		}
-		s := reqsched.StrategyByName(name)
-		if s == nil {
-			fmt.Fprintf(os.Stderr, "unknown strategy %q\n", name)
-			os.Exit(2)
-		}
-		_, sr := reqsched.RunWithSeries(s, tr)
-		fmt.Println("round,arrived,served,expired,pending,backlog,idle")
-		for _, r := range sr.Rounds {
-			fmt.Printf("%d,%d,%d,%d,%d,%d,%d\n",
-				r.T, r.Arrived, r.Served, r.Expired, r.Pending, r.Backlog, r.Idle)
-		}
-		return
-	}
-
-	fmt.Printf("workload %s: %s\n", *wl, reqsched.SummarizeTrace(tr))
-	opt := reqsched.OptimumParallel(tr, *workers)
-	fmt.Printf("offline optimum: %d of %d requests (%d segments)\n\n",
-		opt, tr.NumRequests(), reqsched.TraceSegmentCount(tr))
-
-	names := strategyNames(*strategy, *all)
-
-	fmt.Printf("%-20s %9s %7s %9s %9s %9s %10s %9s\n",
-		"strategy", "served", "lost", "ratio", "latency", "balance", "commRound", "messages")
-	for _, name := range names {
-		s := reqsched.StrategyByName(name)
-		if s == nil {
-			fmt.Fprintf(os.Stderr, "unknown strategy %q\n", name)
-			os.Exit(2)
-		}
-		res := reqsched.Run(s, tr)
-		fmt.Printf("%-20s %9d %7d %9s %9.2f %9.3f %10d %9d\n",
-			name, res.Fulfilled, res.Expired,
-			reqsched.FormatRatio(ratioOf(opt, res.Fulfilled), 4), res.MeanLatency(),
-			imbalance(res.PerResource), res.CommRounds, res.Messages)
-	}
-}
-
-// strategyNames resolves the -strategy/-all flags into a sorted name list.
-func strategyNames(strategy string, all bool) []string {
-	if strategy != "" && !all {
-		return []string{strategy}
-	}
-	var names []string
-	for name := range reqsched.Strategies() {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
-}
-
-// ratioOf is OPT/ALG: 1 when both served nothing, +Inf when only the
-// strategy starved (OPT served something, ALG nothing).
-func ratioOf(opt, alg int) float64 {
-	if alg == 0 {
-		if opt == 0 {
-			return 1
-		}
-		return math.Inf(1)
-	}
-	return float64(opt) / float64(alg)
-}
-
-// imbalance is max/mean of the per-resource service counts (1.0 = perfectly
-// balanced).
-func imbalance(per []int) float64 {
-	total, max := 0, 0
-	for _, c := range per {
-		total += c
-		if c > max {
-			max = c
-		}
-	}
-	if total == 0 {
-		return 1
-	}
-	mean := float64(total) / float64(len(per))
-	return float64(max) / mean
-}
+func main() { os.Exit(app.SchedsimMain(os.Args[1:], os.Stdout, os.Stderr)) }

@@ -1,330 +1,10 @@
-// Command sweep produces the derived data series of the reproduction
-// (DESIGN.md Fig-A/Fig-B) as CSV:
-//
-//	-mode d     ratio of each strategy on its own adversary as d grows
-//	            (the shape of the Table 1 bound formulas);
-//	-mode l     A_current's ratio versus l, converging to e/(e-1);
-//	-mode load  empirical ratio of every strategy on random load as the
-//	            arrival rate sweeps past saturation.
-//
-// All modes run their measurements on a -workers sized pool; rows are printed
-// in a fixed order regardless of the worker count.
-//
-// The grid is fault tolerant: -journal checkpoints every completed cell to
-// an append-only JSONL file (crash-safe; a torn final line is detected and
-// truncated), -resume continues an interrupted sweep bit-identically, and
-// -shard N runs the cells on N gridworker subprocesses supervised with
-// per-job deadlines, heartbeat liveness, retry backoff, and record
-// re-verification — a worker that OOMs, hangs, or corrupts its output costs
-// one retry, not the sweep. -shard 0 (the default) measures in-process;
-// without -journal it is the plain worker-pool path of earlier versions and
-// produces byte-identical CSV on every path.
+// Command sweep measures competitive-ratio grids; see app.SweepMain.
 package main
 
 import (
-	"context"
-	"flag"
-	"fmt"
 	"os"
-	"os/signal"
-	"sort"
-	"syscall"
-	"time"
 
-	"reqsched"
-	"reqsched/internal/grid"
-	"reqsched/internal/grid/chaos"
+	"reqsched/internal/app"
 )
 
-// printer renders measurements as CSV rows. done[i]==false rows (cells that
-// failed after retries) are skipped — the failure report names them; nil
-// done means every cell completed.
-type printer func(ms []reqsched.Measurement, done []bool)
-
-func main() {
-	mode := flag.String("mode", "d", "d | l | load")
-	phases := flag.Int("phases", 60, "adversary phases")
-	workers := flag.Int("workers", 0, "measurement pool size (<= 0: GOMAXPROCS)")
-	shard := flag.Int("shard", 0, "gridworker subprocesses (0: measure in-process)")
-	journalPath := flag.String("journal", "", "checkpoint journal path (JSONL; enables crash-safe resume)")
-	resume := flag.Bool("resume", false, "resume from an existing journal (requires -journal)")
-	workerCmd := flag.String("worker-cmd", "", "gridworker command (default: re-exec this binary with -gridworker)")
-	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-cell wall-clock deadline (sharded mode)")
-	retries := flag.Int("retries", 3, "retry budget per cell before it is marked failed (sharded mode)")
-	gridworker := flag.Bool("gridworker", false, "internal: speak the gridworker protocol on stdin/stdout")
-	flag.Parse()
-
-	if *gridworker {
-		faults, err := chaos.FromEnv()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		if err := grid.WorkerMain(os.Stdin, os.Stdout, 2*time.Second, faults); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return
-	}
-
-	var specs []grid.Spec
-	var names []string
-	var print printer
-	switch *mode {
-	case "d":
-		specs, names, print = sweepD(*phases)
-	case "l":
-		specs, names, print = sweepL()
-	case "load":
-		specs, names, print = sweepLoad()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
-		os.Exit(2)
-	}
-	jobs, err := grid.BuildManifest(specs, names)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-
-	// The plain path: in-process pool, no checkpoints — unchanged from
-	// earlier versions.
-	if *shard <= 0 && *journalPath == "" {
-		if *resume {
-			fmt.Fprintln(os.Stderr, "sweep: -resume requires -journal")
-			os.Exit(2)
-		}
-		print(reqsched.MeasureParallel(grid.RatioJobs(jobs), *workers), nil)
-		return
-	}
-
-	// Fault-tolerant paths: journal + optional subprocess sharding.
-	var j *grid.Journal
-	var done map[string]grid.Record
-	if *journalPath != "" {
-		var scan grid.JournalScan
-		j, done, scan, err = grid.OpenJournal(*journalPath, *resume)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer j.Close()
-		if scan.TornOffset >= 0 {
-			fmt.Fprintf(os.Stderr, "sweep: journal had a torn final line at byte %d (crash mid-write); truncated and resuming\n", scan.TornOffset)
-		}
-		if scan.Skipped > 0 {
-			fmt.Fprintf(os.Stderr, "sweep: journal had %d corrupt record(s); their cells will re-run\n", scan.Skipped)
-		}
-	} else if *resume {
-		fmt.Fprintln(os.Stderr, "sweep: -resume requires -journal")
-		os.Exit(2)
-	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	var rep *grid.Report
-	if *shard <= 0 {
-		rep, err = grid.RunLocal(ctx, jobs, done, j, *workers)
-	} else {
-		cmd := []string{*workerCmd}
-		if *workerCmd == "" {
-			self, eerr := os.Executable()
-			if eerr != nil {
-				fmt.Fprintln(os.Stderr, eerr)
-				os.Exit(1)
-			}
-			cmd = []string{self, "-gridworker"}
-		}
-		var r int
-		if r = *retries; r == 0 {
-			r = -1 // flag 0 means "no retries"; Options 0 means "default"
-		}
-		rep, err = grid.Run(ctx, jobs, grid.Options{
-			Workers:    *shard,
-			WorkerCmd:  cmd,
-			Journal:    j,
-			Done:       done,
-			JobTimeout: *jobTimeout,
-			Retries:    r,
-			Log:        os.Stderr,
-		})
-	}
-	if ctx.Err() != nil {
-		n := 0
-		if rep != nil {
-			for _, d := range rep.Done {
-				if d {
-					n++
-				}
-			}
-		}
-		fmt.Fprintf(os.Stderr, "sweep: interrupted; %d/%d cells checkpointed — rerun with -resume to continue\n", n, len(jobs))
-		os.Exit(130)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if rep.FromJournal > 0 || rep.Retried > 0 {
-		fmt.Fprintf(os.Stderr, "sweep: %d/%d cells from journal, %d retried\n", rep.FromJournal, len(jobs), rep.Retried)
-	}
-	print(rep.Measurements, rep.Done)
-	if !rep.AllDone() {
-		fmt.Fprint(os.Stderr, rep.FailureReport())
-		os.Exit(1)
-	}
-}
-
-func sweepD(phases int) ([]grid.Spec, []string, printer) {
-	type point struct {
-		name string
-		d    int
-	}
-	type row struct {
-		name  string
-		build func(d int) grid.BuildSpec
-		ds    []int
-	}
-	rows := []row{
-		{"A_fix",
-			func(d int) grid.BuildSpec { return grid.BuildSpec{Kind: "fix", D: d, Phases: phases} },
-			[]int{2, 3, 4, 6, 8, 12, 16, 24}},
-		{"A_fix_balance",
-			func(d int) grid.BuildSpec { return grid.BuildSpec{Kind: "fix_balance", D: d, Phases: phases} },
-			[]int{2, 4, 6, 8, 12, 16, 24}},
-		{"A_eager",
-			func(d int) grid.BuildSpec { return grid.BuildSpec{Kind: "eager", D: d, Phases: phases} },
-			[]int{2, 4, 6, 8, 12, 16, 24}},
-		{"A_balance",
-			func(d int) grid.BuildSpec {
-				return grid.BuildSpec{Kind: "balance", X: (d + 1) / 3, K: 32, Phases: phases}
-			},
-			[]int{2, 5, 8, 11, 14}},
-		{"A_local_fix",
-			func(d int) grid.BuildSpec { return grid.BuildSpec{Kind: "local_fix", D: d, Phases: phases} },
-			[]int{1, 2, 4, 8, 16}},
-	}
-	var specs []grid.Spec
-	var names []string
-	var points []point
-	for _, r := range rows {
-		for _, d := range r.ds {
-			specs = append(specs, grid.Spec{Strategy: r.name, Build: r.build(d)})
-			names = append(names, fmt.Sprintf("%s/d=%d", r.name, d))
-			points = append(points, point{r.name, d})
-		}
-	}
-	print := func(ms []reqsched.Measurement, done []bool) {
-		fmt.Println("strategy,d,opt,alg,measured,provenLB,provenUB")
-		for i, m := range ms {
-			if done != nil && !done[i] {
-				continue
-			}
-			p := points[i]
-			fmt.Printf("%s,%d,%d,%d,%s,%.6f,%s\n",
-				p.name, p.d, m.OPT, m.ALG, reqsched.FormatRatio(m.Ratio(), 6), m.Bound, ub(p.name, p.d))
-		}
-	}
-	return specs, names, print
-}
-
-func ub(name string, d int) string {
-	s := reqsched.StrategyByName(name)
-	if s == nil {
-		return ""
-	}
-	// UpperBound formulas mirror Table 1; reuse the measurement bound field
-	// by probing a tiny run is overkill — recompute directly.
-	switch name {
-	case "A_fix", "A_current", "A_local_fix":
-		if name == "A_local_fix" {
-			return "2.000000"
-		}
-		return fmt.Sprintf("%.6f", 2-1/float64(d))
-	case "A_fix_balance":
-		b := 4.0 / 3.0
-		if v := 2 - 2/float64(d); v > b {
-			b = v
-		}
-		if v := 2 - 3/(float64(d)+2); v > b {
-			b = v
-		}
-		return fmt.Sprintf("%.6f", b)
-	case "A_eager":
-		return fmt.Sprintf("%.6f", (3*float64(d)-2)/(2*float64(d)-1))
-	case "A_balance":
-		if d == 2 {
-			return fmt.Sprintf("%.6f", 4.0/3.0)
-		}
-		return fmt.Sprintf("%.6f", 6*(float64(d)-1)/(4*float64(d)-3))
-	}
-	return ""
-}
-
-func sweepL() ([]grid.Spec, []string, printer) {
-	ls := []int{2, 3, 4, 5, 6, 7}
-	var specs []grid.Spec
-	var names []string
-	for _, l := range ls {
-		specs = append(specs, grid.Spec{
-			Strategy: "A_current",
-			Build:    grid.BuildSpec{Kind: "current", L: l, Phases: 5},
-		})
-		names = append(names, fmt.Sprintf("l=%d", l))
-	}
-	print := func(ms []reqsched.Measurement, done []bool) {
-		fmt.Println("l,d,opt,alg,measured,analytic,asymptote")
-		for i, m := range ms {
-			if done != nil && !done[i] {
-				continue
-			}
-			l := ls[i]
-			fmt.Printf("%d,%d,%d,%d,%s,%.6f,%.6f\n",
-				l, m.D, m.OPT, m.ALG, reqsched.FormatRatio(m.Ratio(), 6), reqsched.AdversaryCurrentBound(l), 1.5819767)
-		}
-	}
-	return specs, names, print
-}
-
-func sweepLoad() ([]grid.Spec, []string, printer) {
-	n, d := 8, 4
-	fracs := []float64{0.5, 0.8, 1.0, 1.2, 1.5, 2.0, 3.0}
-	snames := make([]string, 0)
-	for name := range reqsched.Strategies() {
-		snames = append(snames, name)
-	}
-	sort.Strings(snames)
-
-	type point struct {
-		name string
-		frac float64
-	}
-	var specs []grid.Spec
-	var names []string
-	var points []point
-	for _, frac := range fracs {
-		for _, name := range snames {
-			specs = append(specs, grid.Spec{
-				Strategy: name,
-				// The (seeded, deterministic) trace is regenerated per job
-				// from the spec, so concurrent runs — and worker processes —
-				// never share storage.
-				Build: grid.BuildSpec{Kind: "uniform", N: n, D: d, Rounds: 150, Rate: frac * float64(n), Seed: 7},
-			})
-			names = append(names, fmt.Sprintf("%s@%.2f", name, frac))
-			points = append(points, point{name, frac})
-		}
-	}
-	print := func(ms []reqsched.Measurement, done []bool) {
-		fmt.Println("strategy,rate,opt,alg,measured")
-		for i, m := range ms {
-			if done != nil && !done[i] {
-				continue
-			}
-			p := points[i]
-			fmt.Printf("%s,%.2f,%d,%d,%s\n", p.name, p.frac, m.OPT, m.ALG, reqsched.FormatRatio(m.Ratio(), 6))
-		}
-	}
-	return specs, names, print
-}
+func main() { os.Exit(app.SweepMain(os.Args[1:], os.Stdout, os.Stderr)) }

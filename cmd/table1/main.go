@@ -1,36 +1,10 @@
-// Command table1 regenerates the paper's Table 1: for every strategy it runs
-// the corresponding lower-bound adversary, measures the empirical competitive
-// ratio OPT/ALG, and prints it next to the proven lower and upper bounds.
-// Ratios approach the proven lower bound from below as -phases grows (the
-// competitive definition's additive constant washes out) and must never
-// exceed the proven upper bound.
-//
-// Usage:
-//
-//	table1 [-phases N] [-groups K] [-local]
+// Command table1 reproduces the paper's Table 1; see app.Table1Main.
 package main
 
 import (
-	"flag"
-	"fmt"
+	"os"
 
-	"reqsched/internal/table"
+	"reqsched/internal/app"
 )
 
-func main() {
-	phases := flag.Int("phases", 40, "adversary phases/intervals per run")
-	groups := flag.Int("groups", 32, "resource groups for the Theorem 2.5 construction")
-	localOnly := flag.Bool("local", false, "only the local strategies (Theorems 3.7/3.8)")
-	flag.Parse()
-
-	cfg := table.Config{Phases: *phases, Groups: *groups}
-	if !*localOnly {
-		fmt.Println("Table 1 — global strategies (measured on each row's lower-bound adversary)")
-		fmt.Println()
-		fmt.Print(table.Format(table.Rows(cfg)))
-		fmt.Println()
-	}
-	fmt.Println("Local strategies and EDF (Theorems 3.7, 3.8; Observation 3.2)")
-	fmt.Println()
-	fmt.Print(table.Format(table.LocalRows(cfg)))
-}
+func main() { os.Exit(app.Table1Main(os.Args[1:], os.Stdout, os.Stderr)) }

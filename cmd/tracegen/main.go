@@ -1,222 +1,11 @@
-// Command tracegen generates, inspects and replays serialized traces.
-//
-//	tracegen gen  -workload zipf -n 8 -d 4 -rounds 100 -out trace.json
-//	tracegen gen  -adversary fix -d 4 -phases 40 -out fix.json
-//	tracegen gen  -workload bursty -rounds 100000 -stream -out trace.jsonl
-//	tracegen info -in trace.json
-//	tracegen info -in trace.jsonl -stream -workers 4
-//	tracegen run  -in trace.json -strategy A_balance
-//
-// With -stream, gen emits the JSONL stream format and info evaluates the
-// offline optimum segment by segment without materializing the trace.
+// Command tracegen generates, inspects and replays serialized traces; see
+// app.TracegenMain.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
 
-	"reqsched"
+	"reqsched/internal/app"
 )
 
-func main() {
-	if len(os.Args) < 2 {
-		usage()
-	}
-	switch os.Args[1] {
-	case "gen":
-		gen(os.Args[2:])
-	case "info":
-		info(os.Args[2:])
-	case "run":
-		run(os.Args[2:])
-	case "show":
-		show(os.Args[2:])
-	default:
-		usage()
-	}
-}
-
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tracegen gen|info|run|show [flags]")
-	os.Exit(2)
-}
-
-// show renders a strategy's schedule on a trace as an ASCII grid.
-func show(args []string) {
-	fs := flag.NewFlagSet("show", flag.ExitOnError)
-	in := fs.String("in", "", "trace file")
-	name := fs.String("strategy", "A_balance", "strategy name")
-	from := fs.Int("from", 0, "first round to draw")
-	to := fs.Int("to", -1, "one past the last round to draw (-1: all)")
-	losses := fs.Bool("losses", false, "also list unserved requests")
-	fs.Parse(args)
-	if *in == "" {
-		usage()
-	}
-	tr := load(*in)
-	s := reqsched.StrategyByName(*name)
-	if s == nil {
-		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *name)
-		os.Exit(2)
-	}
-	res, err := reqsched.RunChecked(s, tr)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: invalid trace %s: %v\n", *in, err)
-		os.Exit(1)
-	}
-	fmt.Print(reqsched.RenderGrid(tr, res.Log, *from, *to))
-	if *losses {
-		fmt.Println()
-		fmt.Print(reqsched.RenderLosses(tr, res.Log))
-	}
-}
-
-func gen(args []string) {
-	fs := flag.NewFlagSet("gen", flag.ExitOnError)
-	var (
-		wl     = fs.String("workload", "uniform", "uniform | zipf | bursty | video | single")
-		adv    = fs.String("adversary", "", "fix | fixbalance | eager | balance | localfix | edf (overrides -workload)")
-		n      = fs.Int("n", 8, "resources")
-		d      = fs.Int("d", 4, "deadline window")
-		rounds = fs.Int("rounds", 100, "rounds with arrivals")
-		rate   = fs.Float64("rate", 0, "mean arrivals per round (default n)")
-		seed   = fs.Int64("seed", 1, "seed")
-		zipfS  = fs.Float64("zipf", 1.4, "zipf exponent")
-		phases = fs.Int("phases", 40, "adversary phases")
-		out    = fs.String("out", "", "output file (default stdout)")
-		stream = fs.Bool("stream", false, "emit the streaming JSONL format instead of one JSON document")
-	)
-	fs.Parse(args)
-	if *rate == 0 {
-		*rate = float64(*n)
-	}
-	cfg := reqsched.WorkloadConfig{N: *n, D: *d, Rounds: *rounds, Rate: *rate, Seed: *seed}
-
-	var tr *reqsched.Trace
-	if *adv != "" {
-		var c reqsched.Construction
-		switch *adv {
-		case "fix":
-			c = reqsched.AdversaryFix(*d, *phases)
-		case "fixbalance":
-			c = reqsched.AdversaryFixBalance(*d, *phases)
-		case "eager":
-			c = reqsched.AdversaryEager(*d, *phases)
-		case "balance":
-			c = reqsched.AdversaryBalance((*d+1)/3, 16, *phases)
-		case "localfix":
-			c = reqsched.AdversaryLocalFix(*d, *phases)
-		case "edf":
-			c = reqsched.AdversaryEDF(*d, *phases)
-		default:
-			fmt.Fprintf(os.Stderr, "unknown adversary %q\n", *adv)
-			os.Exit(2)
-		}
-		tr = c.Trace
-	} else {
-		switch *wl {
-		case "uniform":
-			tr = reqsched.Uniform(cfg)
-		case "zipf":
-			tr = reqsched.Zipf(cfg, *zipfS)
-		case "bursty":
-			tr = reqsched.Bursty(cfg, 5, 10, 3**rate)
-		case "video":
-			tr = reqsched.VideoServer(cfg, 100, *zipfS)
-		case "single":
-			tr = reqsched.SingleChoice(cfg)
-		default:
-			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
-			os.Exit(2)
-		}
-	}
-
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
-	}
-	write := reqsched.WriteTrace
-	if *stream {
-		write = reqsched.WriteTraceStream
-	}
-	if err := write(w, tr); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-}
-
-func load(path string) *reqsched.Trace {
-	f, err := os.Open(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	defer f.Close()
-	tr, err := reqsched.ReadTrace(f)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	return tr
-}
-
-func info(args []string) {
-	fs := flag.NewFlagSet("info", flag.ExitOnError)
-	in := fs.String("in", "", "trace file")
-	stream := fs.Bool("stream", false, "treat the input as a JSONL stream; evaluate segment by segment")
-	workers := fs.Int("workers", 0, "segment solver pool for -stream (<= 0: GOMAXPROCS)")
-	fs.Parse(args)
-	if *in == "" {
-		usage()
-	}
-	if *stream {
-		f, err := os.Open(*in)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		opt, nsegs, err := reqsched.OptimumStream(reqsched.TraceSegments(f), *workers)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("offline optimum: %d over %d independent segments\n", opt, nsegs)
-		return
-	}
-	tr := load(*in)
-	fmt.Println(reqsched.SummarizeTrace(tr))
-	fmt.Printf("offline optimum: %d of %d\n", reqsched.Optimum(tr), tr.NumRequests())
-}
-
-func run(args []string) {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	in := fs.String("in", "", "trace file")
-	name := fs.String("strategy", "A_balance", "strategy name")
-	fs.Parse(args)
-	if *in == "" {
-		usage()
-	}
-	tr := load(*in)
-	s := reqsched.StrategyByName(*name)
-	if s == nil {
-		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *name)
-		os.Exit(2)
-	}
-	res, err := reqsched.RunChecked(s, tr)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: invalid trace %s: %v\n", *in, err)
-		os.Exit(1)
-	}
-	opt := reqsched.Optimum(tr)
-	fmt.Printf("%s: served %d / %d, expired %d, OPT %d, ratio %.4f, mean latency %.2f\n",
-		res.Strategy, res.Fulfilled, tr.NumRequests(), res.Expired, opt,
-		float64(opt)/float64(res.Fulfilled), res.MeanLatency())
-}
+func main() { os.Exit(app.TracegenMain(os.Args[1:], os.Stdout, os.Stderr)) }

@@ -186,7 +186,7 @@ func TestUniversalAdversaryBeatsEveryStrategy(t *testing.T) {
 	}
 	for _, name := range names {
 		c := Universal(6, 25)
-		opt, alg := measure(t, c, strategies.ByName(name))
+		opt, alg := measure(t, c, strategies.New()[name])
 		r := float64(opt) / float64(alg)
 		if r < bound {
 			t.Errorf("%s: ratio %.4f below universal bound %.4f", name, r, bound)

@@ -1,0 +1,186 @@
+package app
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary double as a gridworker subprocess: the
+// sharded-sweep tests spawn os.Args[0] with this variable set, so the
+// supervisor path runs end to end without building a separate binary.
+func TestMain(m *testing.M) {
+	if os.Getenv("APP_TEST_GRIDWORKER") == "1" {
+		os.Exit(GridworkerMain(nil, os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+type mainFunc func(args []string, stdout, stderr io.Writer) int
+
+// run executes a Main in-process and returns its stdout, failing the test on
+// a non-zero exit.
+func run(t *testing.T, main mainFunc, args ...string) string {
+	t.Helper()
+	out, code := runCode(t, main, args...)
+	if code != 0 {
+		t.Fatalf("%v: exit %d", args, code)
+	}
+	return out
+}
+
+func runCode(t *testing.T, main mainFunc, args ...string) (string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := main(args, &out, &errb)
+	if code != 0 && errb.Len() > 0 {
+		t.Logf("%v stderr: %s", args, errb.String())
+	}
+	return out.String(), code
+}
+
+func golden(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", "golden", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func requireGolden(t *testing.T, name, got string, args ...string) {
+	t.Helper()
+	if want := golden(t, name); got != want {
+		t.Errorf("%v: output differs from golden %s (%d vs %d bytes)", args, name, len(got), len(want))
+	}
+}
+
+// workerCounts pins the outputs byte-identical for serial, small-pool, and
+// wider-pool execution — the acceptance matrix of the refactor.
+var workerCounts = []string{"1", "2", "4"}
+
+func TestSweepGolden(t *testing.T) {
+	for _, mode := range []string{"d", "l", "load"} {
+		for _, w := range workerCounts {
+			args := []string{"-mode", mode, "-workers", w}
+			got := run(t, SweepMain, args...)
+			requireGolden(t, "sweep_"+mode+".csv", got, args...)
+		}
+	}
+}
+
+func TestSweepJournalGolden(t *testing.T) {
+	// The journaled engine must print the same CSV as the plain pool, and a
+	// resumed run must reproduce it bit-identically from checkpoints.
+	for _, mode := range []string{"d", "l", "load"} {
+		path := filepath.Join(t.TempDir(), "journal.jsonl")
+		args := []string{"-mode", mode, "-workers", "2", "-journal", path}
+		got := run(t, SweepMain, args...)
+		requireGolden(t, "sweep_"+mode+".csv", got, args...)
+
+		args = append(args, "-resume")
+		got = run(t, SweepMain, args...)
+		requireGolden(t, "sweep_"+mode+".csv", got, args...)
+	}
+}
+
+func TestSweepShardGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: spawns subprocesses")
+	}
+	// The subprocess supervisor path: the test binary re-execs itself as the
+	// gridworker (see TestMain) and the CSV stays byte-identical.
+	t.Setenv("APP_TEST_GRIDWORKER", "1")
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"d", "l", "load"} {
+		args := []string{"-mode", mode, "-shard", "2", "-worker-cmd", exe}
+		got := run(t, SweepMain, args...)
+		requireGolden(t, "sweep_"+mode+".csv", got, args...)
+	}
+}
+
+func TestTable1Golden(t *testing.T) {
+	for _, w := range workerCounts {
+		requireGolden(t, "table1.txt", run(t, Table1Main, "-workers", w), "-workers", w)
+	}
+	requireGolden(t, "table1_local.txt", run(t, Table1Main, "-local", "-phases", "8"))
+	requireGolden(t, "table1_small.txt", run(t, Table1Main, "-phases", "8", "-groups", "8"))
+}
+
+func TestSchedsimGolden(t *testing.T) {
+	for _, w := range workerCounts {
+		requireGolden(t, "schedsim.txt", run(t, SchedsimMain, "-workers", w), "-workers", w)
+	}
+	requireGolden(t, "schedsim_series.txt", run(t, SchedsimMain, "-series"))
+	requireGolden(t, "schedsim_eager.txt", run(t, SchedsimMain, "-strategy", "A_eager"))
+	requireGolden(t, "schedsim_seeds.txt", run(t, SchedsimMain, "-seeds", "3", "-strategy", "A_balance"))
+}
+
+func TestPaperGolden(t *testing.T) {
+	for _, w := range workerCounts {
+		requireGolden(t, "paper_quick.txt", run(t, PaperMain, "-quick", "-workers", w), "-workers", w)
+	}
+}
+
+func TestLowerboundsGolden(t *testing.T) {
+	requireGolden(t, "lowerbounds.csv", run(t, LowerboundsMain, "-csv"))
+}
+
+func TestTracegenGolden(t *testing.T) {
+	gen := run(t, TracegenMain, "gen", "-workload", "zipf", "-n", "6", "-d", "3", "-rounds", "40", "-seed", "3")
+	requireGolden(t, "tracegen_zipf.json", gen)
+
+	in := filepath.Join("testdata", "golden", "tracegen_zipf.json")
+	requireGolden(t, "tracegen_info.txt", run(t, TracegenMain, "info", "-in", in))
+	requireGolden(t, "tracegen_run.txt", run(t, TracegenMain, "run", "-in", in, "-strategy", "A_balance"))
+}
+
+func TestListDescribeEveryBinary(t *testing.T) {
+	mains := map[string]mainFunc{
+		"sweep": SweepMain, "paper": PaperMain, "schedsim": SchedsimMain,
+		"table1": Table1Main, "lowerbounds": LowerboundsMain, "bench": BenchMain,
+		"verify": VerifyMain, "tracegen": TracegenMain, "gridworker": GridworkerMain,
+	}
+	var want string
+	for name, main := range mains {
+		list := run(t, main, "-list")
+		if want == "" {
+			want = list
+		}
+		if list != want {
+			t.Errorf("%s -list differs from the shared registry listing", name)
+		}
+		if !strings.Contains(list, "A_balance") || !strings.Contains(list, "universal") ||
+			!strings.Contains(list, "uniform") || !strings.Contains(list, "cardinality") {
+			t.Errorf("%s -list is missing a registry kind:\n%s", name, list)
+		}
+		desc := run(t, main, "-describe", "balance")
+		if !strings.Contains(desc, "x") || !strings.Contains(desc, "k") {
+			t.Errorf("%s -describe balance lacks the schema:\n%s", name, desc)
+		}
+		if _, code := runCode(t, main, "-describe", "no_such_component"); code != 2 {
+			t.Errorf("%s -describe unknown: exit %d, want 2", name, code)
+		}
+	}
+}
+
+func TestSweepUsageErrors(t *testing.T) {
+	if _, code := runCode(t, SweepMain, "-resume"); code != 2 {
+		t.Errorf("-resume without -journal: exit %d, want 2", code)
+	}
+	if _, code := runCode(t, SweepMain, "-mode", "bogus"); code != 2 {
+		t.Errorf("unknown mode: exit %d, want 2", code)
+	}
+	if _, code := runCode(t, SchedsimMain, "-workload", "bogus"); code != 2 {
+		t.Errorf("unknown workload: exit %d, want 2", code)
+	}
+	if _, code := runCode(t, TracegenMain, "gen", "-workload", "zipf", "-params", "s=0.5"); code != 2 {
+		t.Errorf("out-of-range zipf exponent: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,47 @@
+package app
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"reqsched/internal/grid"
+	"reqsched/internal/grid/chaos"
+)
+
+// gridworkerRun speaks the gridworker JSONL protocol on the process's real
+// stdin/stdout (the supervisor owns both pipes; the stdout parameter of the
+// Mains is for human output only). The chaos environment variables
+// GRID_CHAOS / GRID_CHAOS_ONCE arm deterministic fault injection for the
+// failure property tests.
+func gridworkerRun(stderr io.Writer, hb time.Duration) int {
+	faults, err := chaos.FromEnv()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if err := grid.WorkerMain(os.Stdin, os.Stdout, hb, faults); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	return 0
+}
+
+// GridworkerMain is the main program of cmd/gridworker: the subprocess half
+// of the fault-tolerant sweep grid — one job line in, heartbeat lines while
+// measuring, one sealed result (or error) line out per job; exit 0 on stdin
+// EOF. The supervisor (internal/grid.Run, wired through `sweep -shard N`)
+// spawns a pool of these and re-verifies every returned record.
+func GridworkerMain(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("gridworker", stderr)
+	hb := fs.Duration("hb", 2*time.Second, "heartbeat interval while a job is running")
+	list, describe := listingFlags(fs)
+	if ok, code := parse(fs, args); !ok {
+		return code
+	}
+	if handled, code := listing(*list, *describe, stdout, stderr); handled {
+		return code
+	}
+	return gridworkerRun(stderr, *hb)
+}

@@ -1,0 +1,34 @@
+package app
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// TestCmdStaysThin is the in-repo mirror of the CI grep: no cmd/ file may
+// reintroduce an inline strategy/adversary name table or a wire-spec
+// literal. Component names belong in internal/registry; the frontends are
+// stubs over this package.
+func TestCmdStaysThin(t *testing.T) {
+	banned := regexp.MustCompile(`"(A_[A-Za-z_]+|EDF[A-Za-z_]*|first_fit|random_fit|ranking)"` +
+		`|"(fix|current|current_factorial|fix_balance|eager|balance|universal|universal_anyd|local_fix|edf)"` +
+		`|BuildSpec\{`)
+	files, err := filepath.Glob(filepath.Join("..", "..", "cmd", "*", "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no cmd/ sources found; wrong working directory?")
+	}
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m := banned.Find(b); m != nil {
+			t.Errorf("%s contains %q: component name tables belong in internal/registry", f, m)
+		}
+	}
+}

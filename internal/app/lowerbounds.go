@@ -1,0 +1,87 @@
+package app
+
+import (
+	"fmt"
+	"io"
+
+	"reqsched/internal/ratio"
+	"reqsched/internal/registry"
+)
+
+// LowerboundsMain is the main program of cmd/lowerbounds: the convergence
+// of each adversarial construction — the measured ratio OPT/ALG as a
+// function of the number of phases, approaching the theorem's bound from
+// below. With -csv it emits machine-readable series (construction, phases,
+// opt, alg, ratio, bound) for plotting. Each series is a registry record
+// (strategy, adversary, params); the phase count is the swept parameter.
+func LowerboundsMain(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("lowerbounds", stderr)
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	list, describe := listingFlags(fs)
+	if ok, code := parse(fs, args); !ok {
+		return code
+	}
+	if handled, code := listing(*list, *describe, stdout, stderr); handled {
+		return code
+	}
+
+	phaseCounts := []int{2, 5, 10, 20, 40, 80, 160}
+
+	type series struct {
+		name     string
+		strategy string
+		source   string
+		params   registry.Params
+	}
+	all := []series{
+		{"fix(d=4) Thm2.1", "A_fix", "fix", registry.Params{"d": iv(4)}},
+		{"current(l=5) Thm2.2", "A_current", "current", registry.Params{"l": iv(5)}},
+		{"fix_balance(d=8) Thm2.3", "A_fix_balance", "fix_balance", registry.Params{"d": iv(8)}},
+		{"eager(d=4) Thm2.4", "A_eager", "eager", registry.Params{"d": iv(4)}},
+		{"balance(x=2,k=32) Thm2.5", "A_balance", "balance", registry.Params{"x": iv(2), "k": iv(32)}},
+		{"universal(d=6) Thm2.6 vs A_balance", "A_balance", "universal", registry.Params{"d": iv(6)}},
+		{"local_fix(d=4) Thm3.7", "A_local_fix", "local_fix", registry.Params{"d": iv(4)}},
+		{"edf_worst(d=4) Obs3.2", "EDF", "edf", registry.Params{"d": iv(4)}},
+	}
+
+	if *csv {
+		fmt.Fprintln(stdout, "construction,phases,opt,alg,ratio,bound")
+	}
+	for _, s := range all {
+		at := func(phases int) registry.Params {
+			p := s.params.Clone()
+			p["phases"] = iv(phases)
+			return p
+		}
+		if !*csv {
+			head, err := registry.BuildAdversary(s.source, at(1))
+			if err != nil {
+				fmt.Fprintln(stderr, "lowerbounds:", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "%s (bound %.4f)\n", s.name, head.Bound)
+		}
+		for _, p := range phaseCounts {
+			c, err := registry.BuildAdversary(s.source, at(p))
+			if err != nil {
+				fmt.Fprintln(stderr, "lowerbounds:", err)
+				return 1
+			}
+			strat, err := registry.NewStrategy(s.strategy, nil)
+			if err != nil {
+				fmt.Fprintln(stderr, "lowerbounds:", err)
+				return 1
+			}
+			m := ratio.MeasureConstruction(c, strat)
+			if *csv {
+				fmt.Fprintf(stdout, "%s,%d,%d,%d,%.6f,%.6f\n", s.name, p, m.OPT, m.ALG, m.Ratio(), c.Bound)
+			} else {
+				fmt.Fprintf(stdout, "  phases=%4d  OPT=%7d  ALG=%7d  ratio=%.4f\n", p, m.OPT, m.ALG, m.Ratio())
+			}
+		}
+		if !*csv {
+			fmt.Fprintln(stdout)
+		}
+	}
+	return 0
+}

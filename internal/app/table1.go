@@ -1,0 +1,52 @@
+package app
+
+import (
+	"fmt"
+	"io"
+
+	"reqsched/internal/table"
+)
+
+// Table1Main is the main program of cmd/table1: it regenerates the paper's
+// Table 1 — for every strategy it runs the corresponding lower-bound
+// adversary, measures the empirical competitive ratio OPT/ALG, and prints
+// it next to the proven lower and upper bounds. Ratios approach the proven
+// lower bound from below as -phases grows (the competitive definition's
+// additive constant washes out) and must never exceed the proven upper
+// bound.
+func Table1Main(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("table1", stderr)
+	phases := fs.Int("phases", 40, "adversary phases/intervals per run")
+	groups := fs.Int("groups", 32, "resource groups for the Theorem 2.5 construction")
+	localOnly := fs.Bool("local", false, "only the local strategies (Theorems 3.7/3.8)")
+	workers := workersFlag(fs)
+	list, describe := listingFlags(fs)
+	if ok, code := parse(fs, args); !ok {
+		return code
+	}
+	if handled, code := listing(*list, *describe, stdout, stderr); handled {
+		return code
+	}
+
+	cfg := table.Config{Phases: *phases, Groups: *groups}
+	if !*localOnly {
+		rows, err := table.RowsParallel(cfg, *workers)
+		if err != nil {
+			fmt.Fprintln(stderr, "table1:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "Table 1 — global strategies (measured on each row's lower-bound adversary)")
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, table.Format(rows))
+		fmt.Fprintln(stdout)
+	}
+	rows, err := table.LocalRowsParallel(cfg, *workers)
+	if err != nil {
+		fmt.Fprintln(stderr, "table1:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "Local strategies and EDF (Theorems 3.7, 3.8; Observation 3.2)")
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, table.Format(rows))
+	return 0
+}

@@ -13,10 +13,9 @@ import (
 	"strings"
 
 	"reqsched/internal/core"
-	"reqsched/internal/local"
 	"reqsched/internal/offline"
 	"reqsched/internal/ratio"
-	"reqsched/internal/strategies"
+	"reqsched/internal/registry"
 	"reqsched/internal/workload"
 )
 
@@ -124,17 +123,24 @@ func (c *Config) validate() error {
 	return nil
 }
 
+// allStrategies exposes every parameterless registered strategy to suite
+// configs — the registry's listed set plus the weighted extensions. The two
+// seed-parameterized randomized strategies are excluded: a suite names a
+// deterministic algorithm, the seeds axis belongs to the workload.
 func allStrategies() map[string]func() core.Strategy {
-	m := map[string]func() core.Strategy{
-		"A_local_fix":        func() core.Strategy { return local.NewFix() },
-		"A_local_eager":      func() core.Strategy { return local.NewEager() },
-		"A_local_eager_wide": func() core.Strategy { return local.NewEagerWide() },
-		"A_fix_w":            func() core.Strategy { return strategies.NewFixWeighted() },
-		"A_eager_w":          func() core.Strategy { return strategies.NewEagerWeighted() },
-	}
-	for name := range strategies.New() {
-		name := name
-		m[name] = func() core.Strategy { return strategies.ByName(name) }
+	m := make(map[string]func() core.Strategy)
+	for _, c := range registry.All(registry.KindStrategy) {
+		if len(c.Params) > 0 {
+			continue
+		}
+		name := c.Name
+		m[name] = func() core.Strategy {
+			s, err := registry.NewStrategy(name, nil)
+			if err != nil {
+				panic(err) // unreachable: parameterless construction
+			}
+			return s
+		}
 	}
 	return m
 }

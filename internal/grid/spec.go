@@ -28,9 +28,7 @@ import (
 
 	"reqsched/internal/adversary"
 	"reqsched/internal/core"
-	"reqsched/internal/local"
-	"reqsched/internal/strategies"
-	"reqsched/internal/workload"
+	"reqsched/internal/registry"
 )
 
 // Spec describes one grid cell — a (construction, strategy) measurement — in
@@ -43,14 +41,20 @@ type Spec struct {
 	Build BuildSpec `json:"build"`
 }
 
-// BuildSpec selects and parameterizes an input family. Kind chooses the
-// builder; the remaining fields are that builder's parameters (unused ones
-// stay zero and are omitted from the wire form, keeping IDs stable when new
-// parameters are added).
+// BuildSpec selects and parameterizes an input family. Kind names a
+// registered adversary or workload component (internal/registry); the
+// remaining fields are that component's parameters (unused ones stay zero
+// and are omitted from the wire form, keeping IDs stable when new
+// parameters are added). The field set is the union of every component's
+// schema — the JSON tags are the registry parameter names, so a
+// (component, params) record and a BuildSpec are two spellings of the same
+// job.
 type BuildSpec struct {
-	// Kind is one of the adversary kinds "fix", "current", "fix_balance",
-	// "eager", "balance", "universal", "universal_anyd", "local_fix", "edf",
-	// or the workload kinds "uniform", "zipf", "bursty", "single", "cchoice".
+	// Kind is a registry adversary name ("fix", "current",
+	// "current_factorial", "fix_balance", "eager", "balance", "universal",
+	// "universal_anyd", "local_fix", "edf") or workload name ("uniform",
+	// "zipf", "bursty", "video", "single", "cchoice", "mixed", "weighted",
+	// "trapmix").
 	Kind string `json:"kind"`
 	// Adversary parameters (Table 1 families).
 	D      int `json:"d,omitempty"`
@@ -68,76 +72,132 @@ type BuildSpec struct {
 	Off    int     `json:"off,omitempty"`
 	Burst  float64 `json:"burst,omitempty"`
 	C      int     `json:"c,omitempty"`
+	// Extended workload parameters (video/weighted/trapmix families).
+	Items     int `json:"items,omitempty"`
+	MaxW      int `json:"maxw,omitempty"`
+	TrapEvery int `json:"trap_every,omitempty"`
 }
 
-// Construction materializes the input the spec describes. Generation is
-// deterministic: the same spec yields the same trace (or adaptive source) in
-// every process, which is what makes cross-process measurements and resume
-// runs bit-identical.
-func (b BuildSpec) Construction() (adversary.Construction, error) {
-	cfg := workload.Config{N: b.N, D: b.D, Rounds: b.Rounds, Rate: b.Rate, Seed: b.Seed}
-	switch b.Kind {
-	case "fix":
-		return adversary.Fix(b.D, b.Phases), nil
-	case "current":
-		return adversary.Current(b.L, b.Phases), nil
-	case "fix_balance":
-		return adversary.FixBalance(b.D, b.Phases), nil
-	case "eager":
-		return adversary.Eager(b.D, b.Phases), nil
-	case "balance":
-		return adversary.Balance(b.X, b.K, b.Phases), nil
-	case "universal":
-		return adversary.Universal(b.D, b.Phases), nil
-	case "universal_anyd":
-		return adversary.UniversalAnyD(b.D, b.Phases), nil
-	case "local_fix":
-		return adversary.LocalFix(b.D, b.Phases), nil
-	case "edf":
-		return adversary.EDFWorstCase(b.D, b.Phases), nil
-	case "uniform":
-		return adversary.Construction{Trace: workload.Uniform(cfg)}, nil
-	case "zipf":
-		return adversary.Construction{Trace: workload.Zipf(cfg, b.S)}, nil
-	case "bursty":
-		return adversary.Construction{Trace: workload.Bursty(cfg, b.On, b.Off, b.Burst)}, nil
-	case "single":
-		return adversary.Construction{Trace: workload.SingleChoice(cfg)}, nil
-	case "cchoice":
-		return adversary.Construction{Trace: workload.CChoice(cfg, b.C)}, nil
+// specFields maps registry parameter names onto BuildSpec fields. Every
+// parameter a registered adversary or workload declares must appear here
+// (the registry parity test enforces it); the JSON tag of each field equals
+// its key.
+var specFields = map[string]struct {
+	get func(*BuildSpec) registry.Value
+	set func(*BuildSpec, registry.Value)
+}{
+	"d":      {func(b *BuildSpec) registry.Value { return registry.IntVal(int64(b.D)) }, func(b *BuildSpec, v registry.Value) { b.D = int(v.I) }},
+	"phases": {func(b *BuildSpec) registry.Value { return registry.IntVal(int64(b.Phases)) }, func(b *BuildSpec, v registry.Value) { b.Phases = int(v.I) }},
+	"l":      {func(b *BuildSpec) registry.Value { return registry.IntVal(int64(b.L)) }, func(b *BuildSpec, v registry.Value) { b.L = int(v.I) }},
+	"x":      {func(b *BuildSpec) registry.Value { return registry.IntVal(int64(b.X)) }, func(b *BuildSpec, v registry.Value) { b.X = int(v.I) }},
+	"k":      {func(b *BuildSpec) registry.Value { return registry.IntVal(int64(b.K)) }, func(b *BuildSpec, v registry.Value) { b.K = int(v.I) }},
+	"n":      {func(b *BuildSpec) registry.Value { return registry.IntVal(int64(b.N)) }, func(b *BuildSpec, v registry.Value) { b.N = int(v.I) }},
+	"rounds": {func(b *BuildSpec) registry.Value { return registry.IntVal(int64(b.Rounds)) }, func(b *BuildSpec, v registry.Value) { b.Rounds = int(v.I) }},
+	"rate":   {func(b *BuildSpec) registry.Value { return registry.FloatVal(b.Rate) }, func(b *BuildSpec, v registry.Value) { b.Rate = v.F }},
+	"seed":   {func(b *BuildSpec) registry.Value { return registry.IntVal(b.Seed) }, func(b *BuildSpec, v registry.Value) { b.Seed = v.I }},
+	"s":      {func(b *BuildSpec) registry.Value { return registry.FloatVal(b.S) }, func(b *BuildSpec, v registry.Value) { b.S = v.F }},
+	"on":     {func(b *BuildSpec) registry.Value { return registry.IntVal(int64(b.On)) }, func(b *BuildSpec, v registry.Value) { b.On = int(v.I) }},
+	"off":    {func(b *BuildSpec) registry.Value { return registry.IntVal(int64(b.Off)) }, func(b *BuildSpec, v registry.Value) { b.Off = int(v.I) }},
+	"burst":  {func(b *BuildSpec) registry.Value { return registry.FloatVal(b.Burst) }, func(b *BuildSpec, v registry.Value) { b.Burst = v.F }},
+	"c":      {func(b *BuildSpec) registry.Value { return registry.IntVal(int64(b.C)) }, func(b *BuildSpec, v registry.Value) { b.C = int(v.I) }},
+	"items":  {func(b *BuildSpec) registry.Value { return registry.IntVal(int64(b.Items)) }, func(b *BuildSpec, v registry.Value) { b.Items = int(v.I) }},
+	"maxw":   {func(b *BuildSpec) registry.Value { return registry.IntVal(int64(b.MaxW)) }, func(b *BuildSpec, v registry.Value) { b.MaxW = int(v.I) }},
+	"trap_every": {func(b *BuildSpec) registry.Value { return registry.IntVal(int64(b.TrapEvery)) },
+		func(b *BuildSpec, v registry.Value) { b.TrapEvery = int(v.I) }},
+}
+
+// SpecFieldNames lists the registry parameter names BuildSpec can carry —
+// exported for the parity test that pins every registered component's
+// schema to the wire format.
+func SpecFieldNames() []string {
+	names := make([]string, 0, len(specFields))
+	for name := range specFields {
+		names = append(names, name)
 	}
-	return adversary.Construction{}, fmt.Errorf("grid: unknown build kind %q", b.Kind)
+	return names
 }
 
-// knownKinds mirrors the Construction switch for cheap validation without
-// materializing a trace.
-var knownKinds = map[string]bool{
-	"fix": true, "current": true, "fix_balance": true, "eager": true,
-	"balance": true, "universal": true, "universal_anyd": true,
-	"local_fix": true, "edf": true,
-	"uniform": true, "zipf": true, "bursty": true, "single": true, "cchoice": true,
-}
-
-// newStrategy returns a fresh instance of the named strategy — the same
-// registry reqsched.Strategies exposes (global + local strategies) — or nil.
-func newStrategy(name string) core.Strategy {
-	if s, ok := strategies.New()[name]; ok {
-		return s
+// Params extracts the spec's parameter set for its component's schema: one
+// value per declared parameter, straight off the fields (zeros included —
+// the wire format has no "omitted" distinct from zero).
+func (b BuildSpec) Params() (registry.Params, error) {
+	c, ok := registry.SourceComponent(b.Kind)
+	if !ok {
+		return nil, fmt.Errorf("grid: unknown build kind %q", b.Kind)
 	}
-	for _, s := range []core.Strategy{local.NewFix(), local.NewEager(), local.NewEagerWide()} {
-		if s.Name() == name {
-			return s
+	p := make(registry.Params, len(c.Params))
+	for _, sp := range c.Params {
+		f, ok := specFields[sp.Name]
+		if !ok {
+			return nil, fmt.Errorf("grid: %s %q parameter %q has no BuildSpec field", c.Kind, c.Name, sp.Name)
 		}
+		p[sp.Name] = f.get(&b)
 	}
-	return nil
+	return p, nil
 }
 
-// Validate checks that the spec names a known build kind and strategy without
-// generating the input — the cheap pre-flight the runners do on the whole
-// manifest before any work starts.
+// SpecFor builds the wire-format Spec for a (strategy, source, params)
+// registry record — the declarative manifest entry. Unset parameters take
+// the component's defaults, so the spec (and hence the job ID) is fully
+// determined by the record.
+func SpecFor(strategy, source string, p registry.Params) (Spec, error) {
+	c, ok := registry.SourceComponent(source)
+	if !ok {
+		return Spec{}, fmt.Errorf("grid: unknown build kind %q", source)
+	}
+	full, err := c.Apply(p)
+	if err != nil {
+		return Spec{}, err
+	}
+	b := BuildSpec{Kind: source}
+	for name, v := range full {
+		f, ok := specFields[name]
+		if !ok {
+			return Spec{}, fmt.Errorf("grid: %s %q parameter %q has no BuildSpec field", c.Kind, c.Name, name)
+		}
+		f.set(&b, v)
+	}
+	s := Spec{Strategy: strategy, Build: b}
+	return s, s.Validate()
+}
+
+// Construction materializes the input the spec describes by resolving its
+// kind in the registry. Generation is deterministic: the same spec yields
+// the same trace (or adaptive source) in every process, which is what makes
+// cross-process measurements and resume runs bit-identical.
+func (b BuildSpec) Construction() (adversary.Construction, error) {
+	p, err := b.Params()
+	if err != nil {
+		return adversary.Construction{}, err
+	}
+	return registry.BuildSource(b.Kind, p)
+}
+
+// newStrategy returns a fresh instance of the named strategy (default
+// params) from the registry, or nil.
+func newStrategy(name string) core.Strategy {
+	s, err := registry.NewStrategy(name, nil)
+	if err != nil {
+		return nil
+	}
+	return s
+}
+
+// Validate checks that the spec names a known build kind and strategy, and
+// that its parameters pass the component's schema, without generating the
+// input — the cheap pre-flight the runners do on the whole manifest before
+// any work starts.
 func (s Spec) Validate() error {
-	if !knownKinds[s.Build.Kind] {
+	c, ok := registry.SourceComponent(s.Build.Kind)
+	if !ok {
 		return fmt.Errorf("grid: unknown build kind %q", s.Build.Kind)
+	}
+	p, err := s.Build.Params()
+	if err != nil {
+		return err
+	}
+	if err := c.Validate(p); err != nil {
+		return fmt.Errorf("grid: %w", err)
 	}
 	if newStrategy(s.Strategy) == nil {
 		return fmt.Errorf("grid: unknown strategy %q", s.Strategy)

@@ -1,0 +1,146 @@
+package registry
+
+import (
+	"fmt"
+
+	"reqsched/internal/adversary"
+)
+
+// Adversary parameter schemas reuse the grid.BuildSpec JSON field names, so
+// a (name, params) record translates to the wire format without renaming.
+func dParam(doc string, def int64) Param {
+	return Param{Name: "d", Doc: doc, Type: Int, Default: IntVal(def), Min: Bound(1)}
+}
+
+func phasesParam(doc string) Param {
+	return Param{Name: "phases", Doc: doc, Type: Int, Default: IntVal(40), Min: Bound(1)}
+}
+
+func init() {
+	Register(Component{
+		Kind: KindAdversary, Name: "fix",
+		Doc: "Theorem 2.1 input forcing 2-1/d on A_fix",
+		Params: []Param{
+			dParam("deadline window (>= 2)", 4),
+			phasesParam("trap phases (the additive constant washes out as this grows)"),
+		},
+		Check: needs("d >= 2", func(p Params) bool { return p.Int("d") >= 2 }),
+		Build: func(p Params) adversary.Construction {
+			return adversary.Fix(p.Int("d"), p.Int("phases"))
+		},
+	})
+	Register(Component{
+		Kind: KindAdversary, Name: "current",
+		Doc: "Theorem 2.2 input forcing e/(e-1) (as l grows) on A_current; d = lcm(1..l)",
+		Params: []Param{
+			{Name: "l", Doc: "group count (>= 2; d = lcm(1..l))", Type: Int, Default: IntVal(4), Min: Bound(2), Max: Bound(12)},
+			phasesParam("repetitions of the l-group pattern"),
+		},
+		Build: func(p Params) adversary.Construction {
+			return adversary.Current(p.Int("l"), p.Int("phases"))
+		},
+	})
+	Register(Component{
+		Kind: KindAdversary, Name: "current_factorial",
+		Doc: "the Theorem 2.2 construction exactly as printed, with d = l! (beware trace size beyond l=7)",
+		Params: []Param{
+			{Name: "l", Doc: "group count (>= 2; d = l!)", Type: Int, Default: IntVal(4), Min: Bound(2), Max: Bound(8)},
+			phasesParam("repetitions of the l-group pattern"),
+		},
+		Build: func(p Params) adversary.Construction {
+			return adversary.CurrentFactorial(p.Int("l"), p.Int("phases"))
+		},
+	})
+	Register(Component{
+		Kind: KindAdversary, Name: "fix_balance",
+		Doc: "Theorem 2.3 input forcing 3d/(2d+2) on A_fix_balance (even d)",
+		Params: []Param{
+			dParam("deadline window (even, >= 2)", 4),
+			phasesParam("trap phases"),
+		},
+		Check: needs("even d >= 2", func(p Params) bool { d := p.Int("d"); return d >= 2 && d%2 == 0 }),
+		Build: func(p Params) adversary.Construction {
+			return adversary.FixBalance(p.Int("d"), p.Int("phases"))
+		},
+	})
+	Register(Component{
+		Kind: KindAdversary, Name: "eager",
+		Doc: "Theorem 2.4 input forcing 4/3 on A_eager (and, at d=2, on A_current, A_fix_balance, A_balance)",
+		Params: []Param{
+			dParam("deadline window (even, >= 2)", 4),
+			phasesParam("trap phases"),
+		},
+		Check: needs("even d >= 2", func(p Params) bool { d := p.Int("d"); return d >= 2 && d%2 == 0 }),
+		Build: func(p Params) adversary.Construction {
+			return adversary.Eager(p.Int("d"), p.Int("phases"))
+		},
+	})
+	Register(Component{
+		Kind: KindAdversary, Name: "balance",
+		Doc: "Theorem 2.5 input forcing (5d+2)/(4d+1) on A_balance for d = 3x-1, with k independent resource groups",
+		Params: []Param{
+			{Name: "x", Doc: "group size parameter (d = 3x-1)", Type: Int, Default: IntVal(2), Min: Bound(1)},
+			{Name: "k", Doc: "independent resource groups (bound tightens as k grows)", Type: Int, Default: IntVal(32), Min: Bound(1)},
+			phasesParam("intervals per group"),
+		},
+		Build: func(p Params) adversary.Construction {
+			return adversary.Balance(p.Int("x"), p.Int("k"), p.Int("phases"))
+		},
+	})
+	Register(Component{
+		Kind: KindAdversary, Name: "universal",
+		Doc: "Theorem 2.6 adaptive adversary forcing at least 45/41 on every deterministic algorithm (3 | d)",
+		Params: []Param{
+			dParam("deadline window (divisible by 3)", 6),
+			phasesParam("adversary cycles"),
+		},
+		Check: needs("d divisible by 3", func(p Params) bool { d := p.Int("d"); return d >= 3 && d%3 == 0 }),
+		Build: func(p Params) adversary.Construction {
+			return adversary.Universal(p.Int("d"), p.Int("phases"))
+		},
+	})
+	Register(Component{
+		Kind: KindAdversary, Name: "universal_anyd",
+		Doc: "Theorem 2.6 remark variant for deadlines not divisible by three (>= 12/11 for every d >= 4)",
+		Params: []Param{
+			dParam("deadline window (>= 4)", 4),
+			phasesParam("adversary cycles"),
+		},
+		Check: needs("d >= 4", func(p Params) bool { return p.Int("d") >= 4 }),
+		Build: func(p Params) adversary.Construction {
+			return adversary.UniversalAnyD(p.Int("d"), p.Int("phases"))
+		},
+	})
+	Register(Component{
+		Kind: KindAdversary, Name: "local_fix",
+		Doc: "Theorem 3.7 input forcing exactly 2 on A_local_fix",
+		Params: []Param{
+			dParam("deadline window (>= 1)", 4),
+			phasesParam("trap intervals"),
+		},
+		Build: func(p Params) adversary.Construction {
+			return adversary.LocalFix(p.Int("d"), p.Int("phases"))
+		},
+	})
+	Register(Component{
+		Kind: KindAdversary, Name: "edf",
+		Doc: "input family on which independent-copies EDF is exactly 2-competitive (Observation 3.2)",
+		Params: []Param{
+			dParam("deadline window (>= 1)", 4),
+			phasesParam("trap intervals"),
+		},
+		Build: func(p Params) adversary.Construction {
+			return adversary.EDFWorstCase(p.Int("d"), p.Int("phases"))
+		},
+	})
+}
+
+// needs adapts a predicate into a Check error.
+func needs(what string, ok func(Params) bool) func(Params) error {
+	return func(p Params) error {
+		if !ok(p) {
+			return fmt.Errorf("needs %s", what)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,250 @@
+// Package runner is the shared measurement pipeline behind the CLI
+// frontends: a manifest of serializable (strategy, source, params) records
+// is expanded into grid jobs — stable content-derived IDs included — and
+// executed on one of three interchangeable engines: the plain in-process
+// worker pool, the journaled local pool with crash-safe resume, or the
+// subprocess supervisor with per-job deadlines and retries. The frontends
+// (internal/app) only declare records, pick options, and print; everything
+// between source and summary lives here, once.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"reqsched/internal/grid"
+	"reqsched/internal/ratio"
+	"reqsched/internal/registry"
+)
+
+// Record is the declarative description of one measurement cell: a registry
+// strategy name, a registry source name (adversary or workload), and the
+// source's parameters. Records are pure data — serializable, diffable, and
+// convertible to the grid wire format without touching a closure.
+type Record struct {
+	// Name is the display label measurements are reported under.
+	Name string
+	// Strategy is a registry strategy name (default parameters).
+	Strategy string
+	// Source is a registry adversary or workload name.
+	Source string
+	// Params parameterizes the source; unset parameters take the
+	// component's schema defaults.
+	Params registry.Params
+}
+
+// Manifest expands records into the grid job list: each record becomes a
+// wire-format Spec (defaults filled, schema validated) with a
+// content-derived ID identical to what the same spec has always hashed to.
+func Manifest(records []Record) ([]grid.Job, error) {
+	specs := make([]grid.Spec, len(records))
+	names := make([]string, len(records))
+	for i, r := range records {
+		spec, err := grid.SpecFor(r.Strategy, r.Source, r.Params)
+		if err != nil {
+			return nil, fmt.Errorf("runner: record %q: %w", r.Name, err)
+		}
+		specs[i] = spec
+		names[i] = r.Name
+	}
+	return grid.BuildManifest(specs, names)
+}
+
+// Options selects and parameterizes the execution engine.
+type Options struct {
+	// Tool prefixes progress and warning lines (e.g. "sweep").
+	Tool string
+	// Workers is the in-process measurement pool size (<= 0: GOMAXPROCS).
+	Workers int
+	// Shard > 0 runs the cells on that many supervised gridworker
+	// subprocesses instead of in-process.
+	Shard int
+	// JournalPath enables the crash-safe checkpoint journal (JSONL).
+	JournalPath string
+	// Resume continues from an existing journal (requires JournalPath).
+	Resume bool
+	// WorkerCmd launches a gridworker subprocess (sharded mode); empty
+	// means re-exec this binary with -gridworker appended.
+	WorkerCmd []string
+	// JobTimeout is the per-cell wall-clock deadline (sharded mode).
+	JobTimeout time.Duration
+	// Retries is the retry budget per cell before it is marked failed
+	// (sharded mode); 0 means no retries.
+	Retries int
+	// Signals installs SIGINT/SIGTERM handling: an interrupted run drains
+	// in-flight cells, flushes checkpoints, and reports Interrupted.
+	Signals bool
+	// Log receives progress and warning lines (nil: discarded).
+	Log io.Writer
+}
+
+// Result is what an execution produced.
+type Result struct {
+	// Measurements holds one entry per job, in manifest order. Entries of
+	// failed cells are zero; check Done.
+	Measurements []ratio.Measurement
+	// Done marks completed cells. A nil Done means every cell completed
+	// (the plain path reports no partial grids).
+	Done []bool
+	// FromJournal counts cells folded from the resume journal; Retried
+	// counts subprocess retries.
+	FromJournal, Retried int
+	// FailureReport is the human-readable report of failed cells; empty
+	// when the grid completed.
+	FailureReport string
+	// Interrupted reports that a signal stopped the run after draining and
+	// checkpointing in-flight cells.
+	Interrupted bool
+}
+
+// AllDone reports whether every cell completed.
+func (r *Result) AllDone() bool {
+	if r.Interrupted {
+		return false
+	}
+	for _, d := range r.Done {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the manifest. The plain path (no shard, no journal) is the
+// in-process worker pool, bit-identical to the historical direct
+// ratio.RunParallel call; the journaled and sharded paths add crash-safe
+// resume and subprocess supervision with identical measurements.
+func Run(ctx context.Context, jobs []grid.Job, o Options) (*Result, error) {
+	tool := o.Tool
+	if tool == "" {
+		tool = "runner"
+	}
+	log := o.Log
+	if log == nil {
+		log = io.Discard
+	}
+	if o.Resume && o.JournalPath == "" {
+		return nil, fmt.Errorf("%s: -resume requires -journal", tool)
+	}
+
+	if o.Shard <= 0 && o.JournalPath == "" {
+		return &Result{Measurements: ratio.RunParallel(grid.RatioJobs(jobs), o.Workers)}, nil
+	}
+
+	var j *grid.Journal
+	var done map[string]grid.Record
+	if o.JournalPath != "" {
+		var scan grid.JournalScan
+		var err error
+		j, done, scan, err = grid.OpenJournal(o.JournalPath, o.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer j.Close()
+		if scan.TornOffset >= 0 {
+			fmt.Fprintf(log, "%s: journal had a torn final line at byte %d (crash mid-write); truncated and resuming\n", tool, scan.TornOffset)
+		}
+		if scan.Skipped > 0 {
+			fmt.Fprintf(log, "%s: journal had %d corrupt record(s); their cells will re-run\n", tool, scan.Skipped)
+		}
+	}
+
+	if o.Signals {
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+		defer stop()
+	}
+
+	var rep *grid.Report
+	var err error
+	if o.Shard <= 0 {
+		rep, err = grid.RunLocal(ctx, jobs, done, j, o.Workers)
+	} else {
+		cmd := o.WorkerCmd
+		if len(cmd) == 0 {
+			self, eerr := os.Executable()
+			if eerr != nil {
+				return nil, eerr
+			}
+			cmd = []string{self, "-gridworker"}
+		}
+		retries := o.Retries
+		if retries == 0 {
+			retries = -1 // grid.Options treats 0 as "default"; 0 here means "no retries"
+		}
+		rep, err = grid.Run(ctx, jobs, grid.Options{
+			Workers:    o.Shard,
+			WorkerCmd:  cmd,
+			Journal:    j,
+			Done:       done,
+			JobTimeout: o.JobTimeout,
+			Retries:    retries,
+			Log:        log,
+		})
+	}
+
+	if ctx.Err() != nil {
+		n := 0
+		res := &Result{Interrupted: true}
+		if rep != nil {
+			res.Measurements, res.Done = rep.Measurements, rep.Done
+			res.FromJournal, res.Retried = rep.FromJournal, rep.Retried
+			for _, d := range rep.Done {
+				if d {
+					n++
+				}
+			}
+		}
+		fmt.Fprintf(log, "%s: interrupted; %d/%d cells checkpointed — rerun with -resume to continue\n", tool, n, len(jobs))
+		return res, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if rep.FromJournal > 0 || rep.Retried > 0 {
+		fmt.Fprintf(log, "%s: %d/%d cells from journal, %d retried\n", tool, rep.FromJournal, len(jobs), rep.Retried)
+	}
+	res := &Result{
+		Measurements: rep.Measurements,
+		Done:         rep.Done,
+		FromJournal:  rep.FromJournal,
+		Retried:      rep.Retried,
+	}
+	if !rep.AllDone() {
+		res.FailureReport = rep.FailureReport()
+	}
+	return res, nil
+}
+
+// Measure runs one cell in-process, serially — the single-shot pipeline the
+// replay and inspection tools use.
+func Measure(job grid.Job) (ratio.Measurement, error) {
+	c, err := job.Spec.Build.Construction()
+	if err != nil {
+		return ratio.Measurement{}, err
+	}
+	s, err := registry.NewStrategy(job.Spec.Strategy, nil)
+	if err != nil {
+		return ratio.Measurement{}, err
+	}
+	return ratio.MeasureConstruction(c, s), nil
+}
+
+// Stream runs jobs produced on demand through the measurement pool,
+// emitting each result as it completes — the bounded-memory variant for
+// open-ended manifests. next is called with 0, 1, 2, ... until it reports
+// no more jobs; emit receives (index, measurement) in completion order.
+func Stream(ctx context.Context, next func(int) (grid.Job, bool), workers int, emit func(int, ratio.Measurement)) error {
+	return ratio.RunStreamCtx(ctx, func(i int) (ratio.Job, bool) {
+		job, ok := next(i)
+		if !ok {
+			return ratio.Job{}, false
+		}
+		return grid.RatioJobs([]grid.Job{job})[0], true
+	}, workers, emit)
+}

@@ -50,11 +50,3 @@ func Global() []core.Strategy {
 	}
 }
 
-// ByName returns a fresh strategy by its Name(), or nil.
-func ByName(name string) core.Strategy {
-	s, ok := New()[name]
-	if !ok {
-		return nil
-	}
-	return s
-}

@@ -324,8 +324,11 @@ func TestRegistryNamesUnique(t *testing.T) {
 			t.Fatalf("registry key %q != name %q", name, s.Name())
 		}
 	}
-	if ByName("A_fix") == nil || ByName("nope") != nil {
-		t.Fatal("ByName broken")
+	if _, ok := m["A_fix"]; !ok {
+		t.Fatal("A_fix missing from New()")
+	}
+	if _, ok := m["nope"]; ok {
+		t.Fatal("unexpected strategy in New()")
 	}
 	if len(Global()) != 5 {
 		t.Fatal("Global() should list the five Table 1 strategies")

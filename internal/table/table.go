@@ -1,7 +1,9 @@
 // Package table regenerates the paper's Table 1: for every strategy row it
 // runs the matching lower-bound adversary, measures OPT/ALG, and pairs the
 // measurement with the proven lower and upper bounds. Used by cmd/table1 and
-// the benchmark harness.
+// the benchmark harness. Every row is a registry record (strategy name,
+// adversary name, params) measured through the same grid manifest pipeline
+// as cmd/sweep, so a row is reproducible from its labels alone.
 package table
 
 import (
@@ -9,14 +11,11 @@ import (
 	"strings"
 
 	"reqsched/internal/adversary"
-	"reqsched/internal/core"
-	"reqsched/internal/local"
+	"reqsched/internal/grid"
 	"reqsched/internal/ratio"
+	"reqsched/internal/registry"
 	"reqsched/internal/strategies"
 )
-
-func localFix() core.Strategy   { return local.NewFix() }
-func localEager() core.Strategy { return local.NewEager() }
 
 // Entry is one measured cell of the Table 1 reproduction.
 type Entry struct {
@@ -65,85 +64,78 @@ func entry(row, param, theorem string, d int, m ratio.Measurement) Entry {
 	}
 }
 
-// rowSpec is one Table 1 cell, declared once and measured either serially or
-// on the ratio worker pool: the construction and strategy factories a
-// ratio.Job needs (factories, because adaptive sources and strategies are
-// stateful), plus the labels entry() attaches. Both execution paths share the
-// same spec list, so their output is identical by construction.
+// rowSpec is one Table 1 cell, declared once as a registry record — strategy
+// and adversary by name plus the construction's parameters — and measured
+// either serially or on the ratio worker pool through the grid manifest
+// pipeline. Both execution paths share the same spec list, so their output is
+// identical by construction.
 type rowSpec struct {
 	row, param, theorem string
 	d                   int
-	build               func() adversary.Construction
-	strategy            func() core.Strategy
+	strategy, source    string
+	params              registry.Params
 	// universal marks Row 6 cells: relabel "any (strategy)" and attach the
 	// universal lower bound instead of the strategy's own.
 	universal bool
 }
 
+func iv(v int) registry.Value { return registry.IntVal(int64(v)) }
+
 // rowSpecs declares every Table 1 row on its lower-bound construction across
 // a spread of deadline windows.
 func rowSpecs(cfg Config) []rowSpec {
 	var specs []rowSpec
-	add := func(row, param, theorem string, d int,
-		build func() adversary.Construction, strategy func() core.Strategy) {
+	add := func(row, param, theorem string, d int, source string, params registry.Params) {
 		specs = append(specs, rowSpec{row: row, param: param, theorem: theorem,
-			d: d, build: build, strategy: strategy})
+			d: d, strategy: row, source: source, params: params})
 	}
 
 	// Row 1: A_fix, Theorem 2.1, LB = UB = 2 - 1/d.
 	for _, d := range []int{2, 3, 4, 8, 16} {
 		add("A_fix", fmt.Sprintf("d=%d", d), "Thm 2.1", d,
-			func() adversary.Construction { return adversary.Fix(d, cfg.Phases) },
-			func() core.Strategy { return strategies.NewFix() })
+			"fix", registry.Params{"d": iv(d), "phases": iv(cfg.Phases)})
 	}
 
 	// Row 2: A_current. d=2 via the Theorem 2.4 construction; growing l via
 	// Theorem 2.2 (d = lcm(1..l)), converging to e/(e-1).
 	add("A_current", "d=2", "Thm 2.4", 2,
-		func() adversary.Construction { return adversary.Eager(2, cfg.Phases) },
-		func() core.Strategy { return strategies.NewCurrent() })
+		"eager", registry.Params{"d": iv(2), "phases": iv(cfg.Phases)})
 	for _, l := range []int{3, 4, 5, 6} {
 		d := adversary.Current(l, 2).D // d = lcm(1..l), read off a throwaway build
 		add("A_current", fmt.Sprintf("l=%d,d=%d", l, d), "Thm 2.2", d,
-			func() adversary.Construction { return adversary.Current(l, max(2, cfg.Phases/8)) },
-			func() core.Strategy { return strategies.NewCurrent() })
+			"current", registry.Params{"l": iv(l), "phases": iv(max(2, cfg.Phases/8))})
 	}
 
 	// Row 3: A_fix_balance. d=2 via Theorem 2.4; even d via Theorem 2.3.
 	add("A_fix_balance", "d=2", "Thm 2.4", 2,
-		func() adversary.Construction { return adversary.Eager(2, cfg.Phases) },
-		func() core.Strategy { return strategies.NewFixBalance() })
+		"eager", registry.Params{"d": iv(2), "phases": iv(cfg.Phases)})
 	for _, d := range []int{4, 8, 12, 16} {
 		add("A_fix_balance", fmt.Sprintf("d=%d", d), "Thm 2.3", d,
-			func() adversary.Construction { return adversary.FixBalance(d, cfg.Phases) },
-			func() core.Strategy { return strategies.NewFixBalance() })
+			"fix_balance", registry.Params{"d": iv(d), "phases": iv(cfg.Phases)})
 	}
 
 	// Row 4: A_eager, Theorem 2.4, LB 4/3 for all d.
 	for _, d := range []int{2, 4, 8, 16} {
 		add("A_eager", fmt.Sprintf("d=%d", d), "Thm 2.4", d,
-			func() adversary.Construction { return adversary.Eager(d, cfg.Phases) },
-			func() core.Strategy { return strategies.NewEager() })
+			"eager", registry.Params{"d": iv(d), "phases": iv(cfg.Phases)})
 	}
 
 	// Row 5: A_balance. d=2 via Theorem 2.4; d=3x-1 via Theorem 2.5.
 	add("A_balance", "d=2", "Thm 2.4", 2,
-		func() adversary.Construction { return adversary.Eager(2, cfg.Phases) },
-		func() core.Strategy { return strategies.NewBalance() })
+		"eager", registry.Params{"d": iv(2), "phases": iv(cfg.Phases)})
 	for _, x := range []int{1, 2, 3, 4} {
 		d := 3*x - 1
 		add("A_balance", fmt.Sprintf("x=%d,k=%d", x, cfg.Groups), "Thm 2.5", d,
-			func() adversary.Construction { return adversary.Balance(x, cfg.Groups, cfg.Phases) },
-			func() core.Strategy { return strategies.NewBalance() })
+			"balance", registry.Params{"x": iv(x), "k": iv(cfg.Groups), "phases": iv(cfg.Phases)})
 	}
 
 	// Row 6: the universal adversary versus every deterministic strategy.
-	for _, mk := range universalTargets() {
-		name := mk().Name()
+	for _, name := range universalTargets() {
 		specs = append(specs, rowSpec{
 			row: name, param: "d=6", theorem: "Thm 2.6", d: 6,
-			build:    func() adversary.Construction { return adversary.Universal(6, max(5, cfg.Phases/2)) },
-			strategy: mk, universal: true,
+			strategy: name, source: "universal",
+			params:    registry.Params{"d": iv(6), "phases": iv(max(5, cfg.Phases/2))},
+			universal: true,
 		})
 	}
 	return specs
@@ -156,37 +148,47 @@ func localRowSpecs(cfg Config) []rowSpec {
 	for _, d := range []int{2, 4, 8} {
 		specs = append(specs, rowSpec{
 			row: "A_local_fix", param: fmt.Sprintf("d=%d", d), theorem: "Thm 3.7", d: d,
-			build:    func() adversary.Construction { return adversary.LocalFix(d, cfg.Phases) },
-			strategy: localFix,
+			strategy: "A_local_fix", source: "local_fix",
+			params: registry.Params{"d": iv(d), "phases": iv(cfg.Phases)},
 		})
 	}
 	for _, d := range []int{2, 4, 8} {
 		specs = append(specs, rowSpec{
 			row: "A_local_eager", param: fmt.Sprintf("d=%d", d), theorem: "Thm 3.8", d: d,
-			build:    func() adversary.Construction { return adversary.LocalFix(d, cfg.Phases) },
-			strategy: localEager,
+			strategy: "A_local_eager", source: "local_fix",
+			params: registry.Params{"d": iv(d), "phases": iv(cfg.Phases)},
 		})
 	}
 	for _, d := range []int{2, 4} {
 		specs = append(specs, rowSpec{
 			row: "EDF", param: fmt.Sprintf("d=%d", d), theorem: "Obs 3.2", d: d,
-			build:    func() adversary.Construction { return adversary.EDFWorstCase(d, cfg.Phases) },
-			strategy: func() core.Strategy { return strategies.NewEDF() },
+			strategy: "EDF", source: "edf",
+			params: registry.Params{"d": iv(d), "phases": iv(cfg.Phases)},
 		})
 	}
 	return specs
 }
 
-// measureSpecs measures the specs on the ratio worker pool (workers <= 0:
-// GOMAXPROCS; 1: serial) and converts the measurements, in spec order, into
-// entries. Every job is independent and deterministic, so the output does
-// not depend on workers.
+// measureSpecs resolves the specs into a grid manifest and measures it on the
+// ratio worker pool (workers <= 0: GOMAXPROCS; 1: serial), converting the
+// measurements, in spec order, into entries. Every job is independent and
+// deterministic, so the output does not depend on workers.
 func measureSpecs(specs []rowSpec, workers int) ([]Entry, error) {
-	jobs := make([]ratio.Job, len(specs))
+	gspecs := make([]grid.Spec, len(specs))
+	names := make([]string, len(specs))
 	for i, sp := range specs {
-		jobs[i] = ratio.Job{Name: sp.row + " " + sp.param, Build: sp.build, Strategy: sp.strategy}
+		gs, err := grid.SpecFor(sp.strategy, sp.source, sp.params)
+		if err != nil {
+			return nil, fmt.Errorf("table: row %s %s: %w", sp.row, sp.param, err)
+		}
+		gspecs[i] = gs
+		names[i] = sp.row + " " + sp.param
 	}
-	ms, err := ratio.RunParallelChecked(jobs, workers)
+	jobs, err := grid.BuildManifest(gspecs, names)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := ratio.RunParallelChecked(grid.RatioJobs(jobs), workers)
 	if err != nil {
 		return nil, err
 	}
@@ -254,20 +256,12 @@ func Format(entries []Entry) string {
 	return sb.String()
 }
 
-// universalTargets lists factories for every deterministic strategy Row 6
-// pits against the universal adversary — factories, because each measurement
-// needs its own stateful instance.
-func universalTargets() []func() core.Strategy {
-	return []func() core.Strategy{
-		func() core.Strategy { return strategies.NewFix() },
-		func() core.Strategy { return strategies.NewCurrent() },
-		func() core.Strategy { return strategies.NewFixBalance() },
-		func() core.Strategy { return strategies.NewEager() },
-		func() core.Strategy { return strategies.NewBalance() },
-		func() core.Strategy { return strategies.NewEDF() },
-		func() core.Strategy { return strategies.NewFirstFit() },
-		localFix,
-		localEager,
+// universalTargets lists every deterministic strategy Row 6 pits against the
+// universal adversary, in the paper's row order.
+func universalTargets() []string {
+	return []string{
+		"A_fix", "A_current", "A_fix_balance", "A_eager", "A_balance",
+		"EDF", "first_fit", "A_local_fix", "A_local_eager",
 	}
 }
 

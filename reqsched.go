@@ -38,6 +38,7 @@ import (
 	"reqsched/internal/local"
 	"reqsched/internal/offline"
 	"reqsched/internal/ratio"
+	"reqsched/internal/registry"
 	"reqsched/internal/render"
 	"reqsched/internal/strategies"
 	"reqsched/internal/trace"
@@ -254,22 +255,20 @@ func NewALocalEager() Strategy { return local.NewEager() }
 // (eight communication rounds).
 func NewALocalEagerWide() Strategy { return local.NewEagerWide() }
 
-// Strategies returns a fresh instance of every strategy, keyed by name.
+// Strategies returns a fresh instance of every listed strategy, keyed by
+// name — the registry's default iteration set.
 func Strategies() map[string]Strategy {
-	m := strategies.New()
-	for _, s := range []Strategy{NewALocalFix(), NewALocalEager(), NewALocalEagerWide()} {
-		m[s.Name()] = s
-	}
-	return m
+	return registry.ListedStrategies()
 }
 
 // GlobalStrategies returns the five Table 1 strategies in row order.
 func GlobalStrategies() []Strategy { return strategies.Global() }
 
-// StrategyByName returns a fresh strategy by name, or nil.
+// StrategyByName returns a fresh strategy by registry name (parameterless
+// construction), or nil.
 func StrategyByName(name string) Strategy {
-	s, ok := Strategies()[name]
-	if !ok {
+	s, err := registry.NewStrategy(name, nil)
+	if err != nil {
 		return nil
 	}
 	return s

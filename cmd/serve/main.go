@@ -1,0 +1,11 @@
+// Command serve runs the live network-facing scheduler daemon; see
+// app.ServeMain.
+package main
+
+import (
+	"os"
+
+	"reqsched/internal/app"
+)
+
+func main() { os.Exit(app.ServeMain(os.Args[1:], os.Stdout, os.Stderr)) }

@@ -146,6 +146,7 @@ func TestListDescribeEveryBinary(t *testing.T) {
 		"sweep": SweepMain, "paper": PaperMain, "schedsim": SchedsimMain,
 		"table1": Table1Main, "lowerbounds": LowerboundsMain, "bench": BenchMain,
 		"verify": VerifyMain, "tracegen": TracegenMain, "gridworker": GridworkerMain,
+		"serve": ServeMain,
 	}
 	var want string
 	for name, main := range mains {

@@ -10,6 +10,7 @@ import (
 	"reqsched"
 	"reqsched/internal/experiment"
 	"reqsched/internal/registry"
+	"reqsched/internal/stats"
 )
 
 // workloadParams assembles the parameter set a registered workload declares
@@ -60,6 +61,7 @@ func SchedsimMain(args []string, stdout, stderr io.Writer) int {
 		strategy  = fs.String("strategy", "", "run a single strategy by name")
 		all       = fs.Bool("all", false, "run every strategy (default when -strategy empty)")
 		series    = fs.Bool("series", false, "emit per-round CSV for the selected strategy instead of the summary")
+		latHist   = fs.Bool("latency-hist", false, "print each strategy's service-latency histogram (with clamp counts) after the summary table")
 		seeds     = fs.Int("seeds", 1, "aggregate over this many seeds (mean±std instead of one run)")
 		config    = fs.String("config", "", "run a declarative JSON experiment suite instead of flags")
 		workers   = workersFlag(fs)
@@ -190,8 +192,28 @@ func SchedsimMain(args []string, stdout, stderr io.Writer) int {
 			name, res.Fulfilled, res.Expired,
 			reqsched.FormatRatio(ratioOf(opt, res.Fulfilled), 4), res.MeanLatency(),
 			imbalance(res.PerResource), res.CommRounds, res.Messages)
+		if *latHist {
+			printLatencyHist(stdout, name, tr, res)
+		}
 	}
 	return 0
+}
+
+// printLatencyHist renders one strategy's service-latency distribution in
+// unit-round buckets sized to the trace's largest window, naming any clamp
+// counts so a folded tail cannot pass as exact data.
+func printLatencyHist(w io.Writer, name string, tr *reqsched.Trace, res *reqsched.Result) {
+	h := stats.NewHistogram(tr.MaxD())
+	for _, f := range res.Log {
+		h.Add(f.Round - f.Req.Arrive)
+	}
+	fmt.Fprintf(w, "\n%s latency (rounds waited):\n", name)
+	fmt.Fprint(w, h.Bars(40))
+	if h.Underflow() > 0 || h.Overflow() > 0 {
+		fmt.Fprintf(w, "clamped: %d below 0, %d at/above %d\n",
+			h.Underflow(), h.Overflow(), h.Size())
+	}
+	fmt.Fprintln(w)
 }
 
 // strategyNames resolves the -strategy/-all flags into a sorted name list.

@@ -1,0 +1,162 @@
+package app
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"reqsched"
+	"reqsched/internal/core"
+	"reqsched/internal/registry"
+	"reqsched/internal/serve"
+)
+
+// ServeMain is the main program of cmd/serve: it boots the live scheduler
+// daemon — an HTTP server ingesting JSONL request records into the round
+// engine under any registry strategy — and runs until SIGINT/SIGTERM, when
+// it drains gracefully (stops admitting, runs out the deadline window,
+// flushes the rolling competitive ratio) and reports the final totals.
+//
+// Usage examples:
+//
+//	serve -addr :8080 -strategy A_balance -n 8 -d 4 -round-ms 100
+//	serve -addr :0 -strategy A_current,l=2 -virtual-clock
+//	tracegen -workload bursty -stream | curl --data-binary @- localhost:8080/v1/requests
+func ServeMain(args []string, stdout, stderr io.Writer) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serveMain(ctx, args, stdout, stderr)
+}
+
+// serveMain is ServeMain with the lifetime under caller control, so tests
+// can terminate the daemon without delivering signals to the process.
+func serveMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("serve", stderr)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address (\":0\" picks a free port)")
+		strategy = fs.String("strategy", "A_balance", "strategy by registry name, with optional parameters: name[,key=value...]")
+		n        = nFlag(fs)
+		d        = dFlag(fs)
+		maxD     = fs.Int("max-d", 0, "largest per-record deadline window admitted (0: -d)")
+		roundMS  = fs.Int("round-ms", 100, "wall-clock round length in milliseconds")
+		virtual  = fs.Bool("virtual-clock", false, "deterministic clock: record arrival rounds drive the engine instead of a ticker")
+		queue    = fs.Int("queue", 4096, "arrival queue capacity (full queue answers 429)")
+	)
+	list, describe := listingFlags(fs)
+	if ok, code := parse(fs, args); !ok {
+		return code
+	}
+	if handled, code := listing(*list, *describe, stdout, stderr); handled {
+		return code
+	}
+
+	strat, name, err := buildStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	s, err := serve.New(serve.Config{
+		N:            *n,
+		D:            *d,
+		MaxD:         *maxD,
+		Strategy:     strat,
+		StrategyName: name,
+		Virtual:      *virtual,
+		RoundDur:     time.Duration(*roundMS) * time.Millisecond,
+		QueueCap:     *queue,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	clock := fmt.Sprintf("round-ms=%d", *roundMS)
+	if *virtual {
+		clock = "virtual-clock"
+	}
+	fmt.Fprintf(stdout, "serve: listening on %s strategy=%s n=%d d=%d %s queue=%d\n",
+		ln.Addr(), name, *n, *d, clock, *queue)
+
+	httpSrv := &http.Server{Handler: s}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		m := s.Drain()
+		fmt.Fprintf(stdout, "serve: drained: requests=%d fulfilled=%d expired=%d rolling ratio %s over %d segments\n",
+			m.Requests, m.Fulfilled, m.Expired, m.Rolling.Ratio, m.Rolling.Solved)
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(sctx)
+	}()
+	if err := httpSrv.Serve(ln); err != http.ErrServerClosed {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	<-done
+	return 0
+}
+
+// serveChecks verifies the tentpole serve-mode equivalence for cmd/verify: a
+// gapped workload streamed through the daemon's HTTP ingest under the
+// virtual clock must reproduce the batch engine's totals and the offline
+// ratio pipeline's OPT on the very same stream.
+func serveChecks(add func(name string, ok bool, format string, args ...interface{}), workers int) {
+	const name = "serve: virtual clock vs engine"
+	tr := reqsched.Bursty(reqsched.WorkloadConfig{N: 6, D: 4, Rounds: 90, Rate: 0, Seed: 5}, 3, 10, 8)
+	var buf bytes.Buffer
+	if err := reqsched.WriteTraceStream(&buf, tr); err != nil {
+		add(name, false, "%v", err)
+		return
+	}
+	s, err := serve.New(serve.Config{N: tr.N, D: tr.D, Strategy: reqsched.NewABalance(), Virtual: true})
+	if err != nil {
+		add(name, false, "%v", err)
+		return
+	}
+	rw := httptest.NewRecorder()
+	s.ServeHTTP(rw, httptest.NewRequest(http.MethodPost, "/v1/requests", bytes.NewReader(buf.Bytes())))
+	m := s.Drain()
+	want := reqsched.Run(reqsched.NewABalance(), tr)
+	opt := reqsched.OptimumParallel(tr, workers)
+	ok := rw.Code == http.StatusOK &&
+		m.Requests == want.Requests && m.Fulfilled == want.Fulfilled && m.Expired == want.Expired &&
+		m.Rolling.Alg == want.Fulfilled && m.Rolling.Opt == opt &&
+		m.Rolling.Solved == reqsched.TraceSegmentCount(tr)
+	add(name, ok,
+		"daemon %d/%d OPT %d vs engine %d/%d OPT %d (%d segments, ingest %d)",
+		m.Fulfilled, m.Expired, m.Rolling.Opt, want.Fulfilled, want.Expired, opt,
+		m.Rolling.Solved, rw.Code)
+}
+
+// buildStrategy resolves a "name[,key=value...]" spec against the registry.
+func buildStrategy(spec string) (core.Strategy, string, error) {
+	name, rest, _ := strings.Cut(spec, ",")
+	comp, ok := registry.Get(registry.KindStrategy, name)
+	if !ok {
+		return nil, "", fmt.Errorf("unknown strategy %q (try -list)", name)
+	}
+	params, err := comp.ParseParams(rest)
+	if err != nil {
+		return nil, "", err
+	}
+	s, err := registry.NewStrategy(name, params)
+	if err != nil {
+		return nil, "", err
+	}
+	return s, name, nil
+}

@@ -208,6 +208,11 @@ func VerifyMain(args []string, stdout, stderr io.Writer) int {
 		"stream OPT/ALG %d/%d vs post-hoc %d/%d (%d segments)",
 		gotAd.OPT, gotAd.ALG, wantAd.OPT, wantAd.ALG, nsegs)
 
+	// 4d. Serve mode: the live daemon under the virtual clock reproduces the
+	// batch engine and the offline ratio pipeline bit for bit on the same
+	// stream.
+	serveChecks(add, *workers)
+
 	// 5. Fault-tolerant grid: deterministic manifests, journal resume with
 	// torn-tail truncation, and a chaos-killed worker subprocess — the
 	// machinery behind cmd/sweep -shard/-journal/-resume.
@@ -217,7 +222,7 @@ func VerifyMain(args []string, stdout, stderr io.Writer) int {
 	if *tools {
 		cmds := [][]string{
 			{"go", "vet", "./..."},
-			{"go", "test", "-race", "./internal/offline", "./internal/ratio", "./internal/experiment", "./internal/grid"},
+			{"go", "test", "-race", "./internal/offline", "./internal/ratio", "./internal/experiment", "./internal/grid", "./internal/serve"},
 		}
 		for _, args := range cmds {
 			cmd := exec.Command(args[0], args[1:]...)

@@ -108,57 +108,20 @@ type CommAccountant interface {
 
 // run is the engine body shared by Run, RunChecked and RunWithSeries; series
 // may be nil. It returns an error (rather than panicking) when the trace is
-// invalid, so CLI tools fed hand-edited inputs can report it gracefully. All
-// per-round scratch — the served set, the arrivals buffer, the round context
-// — is allocated once and reused, so a simulation's allocation cost is
-// dominated by the strategy, not the engine.
+// invalid, so CLI tools fed hand-edited inputs can report it gracefully. The
+// round loop itself lives in Stepper — the same code the live serving daemon
+// drives with network arrivals — so the batch and live paths cannot drift.
 func run(s Strategy, tr *Trace, series *Series) (*Result, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
-	depth := tr.MaxD()
-	w := NewWindow(tr.N, depth)
-	s.Begin(tr.N, tr.D)
-
-	res := &Result{
-		Strategy:    s.Name(),
-		N:           tr.N,
-		D:           tr.D,
-		Requests:    tr.NumRequests(),
-		PerResource: make([]int, tr.N),
-		Log:         make([]Fulfillment, 0, tr.NumRequests()),
-	}
+	st := NewStepper(s, tr.N, tr.D, tr.MaxD())
+	st.TrackBacklog = series != nil
+	st.res.Log = make([]Fulfillment, 0, tr.NumRequests())
 
 	horizon := tr.Horizon()
-	var (
-		pending  []*Request
-		arrivals []*Request // reused across rounds; see RoundContext.Arrivals
-		ctx      RoundContext
-	)
-	served := make(map[int]bool, tr.N)
-	// The context struct is reused across rounds (fields rewritten, not the
-	// struct) so its Unassigned scratch buffer survives the loop.
-	ctx.N = tr.N
-	ctx.D = tr.D
-	ctx.W = w
+	var arrivals []*Request // reused across rounds; see RoundContext.Arrivals
 	for t := 0; t < horizon; t++ {
-		var rs RoundStats
-		rs.T = t
-		// 1. Expire requests whose deadline has passed. (Assigned requests
-		// can never expire: assignments are validated against deadlines and
-		// served when their slot becomes current.)
-		live := pending[:0]
-		for _, r := range pending {
-			if r.Deadline() < t {
-				res.Expired++
-				rs.Expired++
-			} else {
-				live = append(live, r)
-			}
-		}
-		pending = live
-
-		// 2. Receive new requests.
 		arrivals = arrivals[:0]
 		if t < len(tr.Arrivals) {
 			row := tr.Arrivals[t]
@@ -166,65 +129,12 @@ func run(s Strategy, tr *Trace, series *Series) (*Result, error) {
 				arrivals = append(arrivals, &row[i])
 			}
 		}
-		pending = append(pending, arrivals...)
-
-		// 3. Let the strategy (re)compute the schedule.
-		ctx.T = t
-		ctx.Arrivals = arrivals
-		ctx.Pending = pending
-		s.Round(&ctx)
-
-		rs.Arrived = len(arrivals)
-
-		// 4. Serve the current row.
-		clear(served)
-		for i := 0; i < tr.N; i++ {
-			r := w.At(i, t)
-			if r == nil {
-				rs.Idle++
-				continue
-			}
-			w.Unassign(r)
-			res.Fulfilled++
-			res.WeightFulfilled += r.Weight()
-			res.LatencySum += t - r.Arrive
-			res.PerResource[i]++
-			res.Log = append(res.Log, Fulfillment{Req: r, Res: i, Round: t})
-			served[r.ID] = true
-		}
-		if len(served) > 0 {
-			live := pending[:0]
-			for _, r := range pending {
-				if !served[r.ID] {
-					live = append(live, r)
-				}
-			}
-			pending = live
-		}
-
+		rs := st.Step(arrivals)
 		if series != nil {
-			rs.Served = len(served)
-			rs.Pending = len(pending)
-			for _, r := range pending {
-				if !w.Assigned(r) {
-					rs.Backlog++
-				}
-			}
 			series.Rounds = append(series.Rounds, rs)
 		}
-
-		// 5. Slide the window.
-		w.advance()
 	}
-	res.Expired += len(pending)
-	if w.NumAssigned() > 0 {
-		panic(fmt.Sprintf("core: assignments %v survived past horizon", w.Snapshot()))
-	}
-
-	if ca, ok := s.(CommAccountant); ok {
-		res.CommRounds, res.Messages = ca.CommTotals()
-	}
-	return res, nil
+	return st.Finish(), nil
 }
 
 // ValidateLog checks that a fulfillment log is a feasible schedule for the

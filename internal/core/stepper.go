@@ -1,0 +1,178 @@
+package core
+
+import "fmt"
+
+// Stepper drives the round engine one round at a time: expire, admit this
+// round's arrivals, let the strategy (re)compute the schedule, serve the
+// current row, slide the window. It is the single engine body under Run /
+// RunChecked / RunWithSeries (which feed it a materialized trace round by
+// round) and the live serving daemon (which feeds it arrivals as they come in
+// off the network). Both paths therefore produce bit-identical schedules on
+// the same arrival sequence — the property the serve-mode equivalence checks
+// pin.
+//
+// All per-round scratch — the served set, the pending buffer, the round
+// context — is allocated once and reused, so a simulation's allocation cost
+// is dominated by the strategy, not the engine.
+type Stepper struct {
+	s       Strategy
+	n, d    int
+	t       int
+	w       *Window
+	res     *Result
+	pending []*Request
+	ctx     RoundContext
+	served  map[int]bool
+
+	// KeepLog appends every fulfillment to Result.Log (the batch engine's
+	// default). Long-running daemons disable it to keep memory bounded and
+	// watch fulfillments through Observe instead.
+	KeepLog bool
+	// TrackBacklog makes Step count pending requests holding no slot (the
+	// per-round series' Backlog column); it costs a window lookup per pending
+	// request, so it is off unless a series is being collected.
+	TrackBacklog bool
+	// Observe, if non-nil, is called once per fulfillment as it is served,
+	// before Step returns. The live daemon hooks its latency histogram and
+	// rolling-ratio accounting here.
+	Observe func(Fulfillment)
+}
+
+// NewStepper returns a stepper for strategy s over n resources with default
+// deadline window d and schedule lookahead depth (clamped up to d). It calls
+// s.Begin and positions the engine at round 0.
+func NewStepper(s Strategy, n, d, depth int) *Stepper {
+	if n < 1 || d < 1 {
+		panic(fmt.Sprintf("core: invalid stepper params n=%d d=%d", n, d))
+	}
+	if depth < d {
+		depth = d
+	}
+	w := NewWindow(n, depth)
+	s.Begin(n, d)
+	st := &Stepper{
+		s: s, n: n, d: d, w: w,
+		res: &Result{
+			Strategy:    s.Name(),
+			N:           n,
+			D:           d,
+			PerResource: make([]int, n),
+		},
+		served:  make(map[int]bool, n),
+		KeepLog: true,
+	}
+	st.ctx.N = n
+	st.ctx.D = d
+	st.ctx.W = w
+	return st
+}
+
+// Round returns the round the next Step will simulate.
+func (st *Stepper) Round() int { return st.t }
+
+// Pending returns the number of live requests (arrived, unfulfilled,
+// deadline not yet expired at the last completed round).
+func (st *Stepper) Pending() int { return len(st.pending) }
+
+// Depth returns the schedule window's lookahead depth in rounds.
+func (st *Stepper) Depth() int { return st.w.Depth() }
+
+// Result returns the running totals. The pointer stays live across Steps;
+// callers must treat it as read-only and only look between Step calls.
+func (st *Stepper) Result() *Result { return st.res }
+
+// Step simulates one round with the given arrivals and advances the engine.
+// Arrivals must carry Arrive == Round() and globally increasing IDs in
+// injection order (the trace invariant); the slice itself may be reused by
+// the caller after Step returns, but the *Request values must stay alive
+// until served or expired.
+func (st *Stepper) Step(arrivals []*Request) RoundStats {
+	t := st.t
+	var rs RoundStats
+	rs.T = t
+	// 1. Expire requests whose deadline has passed. (Assigned requests can
+	// never expire: assignments are validated against deadlines and served
+	// when their slot becomes current.)
+	live := st.pending[:0]
+	for _, r := range st.pending {
+		if r.Deadline() < t {
+			st.res.Expired++
+			rs.Expired++
+		} else {
+			live = append(live, r)
+		}
+	}
+	// 2. Receive new requests.
+	st.pending = append(live, arrivals...)
+	st.res.Requests += len(arrivals)
+
+	// 3. Let the strategy (re)compute the schedule.
+	st.ctx.T = t
+	st.ctx.Arrivals = arrivals
+	st.ctx.Pending = st.pending
+	st.s.Round(&st.ctx)
+
+	rs.Arrived = len(arrivals)
+
+	// 4. Serve the current row.
+	clear(st.served)
+	for i := 0; i < st.n; i++ {
+		r := st.w.At(i, t)
+		if r == nil {
+			rs.Idle++
+			continue
+		}
+		st.w.Unassign(r)
+		st.res.Fulfilled++
+		st.res.WeightFulfilled += r.Weight()
+		st.res.LatencySum += t - r.Arrive
+		st.res.PerResource[i]++
+		f := Fulfillment{Req: r, Res: i, Round: t}
+		if st.KeepLog {
+			st.res.Log = append(st.res.Log, f)
+		}
+		if st.Observe != nil {
+			st.Observe(f)
+		}
+		st.served[r.ID] = true
+	}
+	if len(st.served) > 0 {
+		live := st.pending[:0]
+		for _, r := range st.pending {
+			if !st.served[r.ID] {
+				live = append(live, r)
+			}
+		}
+		st.pending = live
+	}
+	rs.Served = len(st.served)
+	rs.Pending = len(st.pending)
+	if st.TrackBacklog {
+		for _, r := range st.pending {
+			if !st.w.Assigned(r) {
+				rs.Backlog++
+			}
+		}
+	}
+
+	// 5. Slide the window.
+	st.w.advance()
+	st.t++
+	return rs
+}
+
+// Finish closes the run: remaining pending requests are counted expired and
+// the totals are returned. The engine must have been stepped past every
+// assignment (the batch driver runs to the trace horizon; the daemon drains
+// until Pending() == 0), so a surviving assignment is a programming error.
+func (st *Stepper) Finish() *Result {
+	st.res.Expired += len(st.pending)
+	st.pending = st.pending[:0]
+	if st.w.NumAssigned() > 0 {
+		panic(fmt.Sprintf("core: assignments %v survived past horizon", st.w.Snapshot()))
+	}
+	if ca, ok := st.s.(CommAccountant); ok {
+		st.res.CommRounds, st.res.Messages = ca.CommTotals()
+	}
+	return st.res
+}

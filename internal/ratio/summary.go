@@ -27,6 +27,13 @@ type Summary struct {
 }
 
 func (s *Summary) String() string {
+	// A summary with no finite-ratio samples (every seed starved) would
+	// otherwise print the accumulator's zero values — "ratio 0.0000±0.0000
+	// (max 0.0000)" — which reads as a perfect score instead of a total loss.
+	if s.Ratio.N() == 0 {
+		return fmt.Sprintf("%s over %d seeds: ratio n/a (no finite samples), served %.1f±%.1f, starved %d",
+			s.Strategy, s.Seeds, s.Served.Mean(), s.Served.Std(), s.Starved)
+	}
 	return fmt.Sprintf("%s over %d seeds: ratio %.4f±%.4f (max %.4f), served %.1f±%.1f, starved %d",
 		s.Strategy, s.Seeds, s.Ratio.Mean(), s.Ratio.Std(), s.Ratio.Max(),
 		s.Served.Mean(), s.Served.Std(), s.Starved)

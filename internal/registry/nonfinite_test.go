@@ -1,0 +1,61 @@
+package registry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestNonFiniteFloatParamsRejected pins the NaN/Inf input-validation fix:
+// NaN compares false against every bound, so it used to sail through Min/Max
+// checks, and ±Inf passes any one-sided bound. With parameters arriving over
+// HTTP (cmd/serve -strategy, wire-configured workloads) these must be
+// rejected at the validation layer, not crash a generator later.
+func TestNonFiniteFloatParamsRejected(t *testing.T) {
+	uniform, ok := Get(KindWorkload, "uniform") // rate: Float with Min 0 only
+	if !ok {
+		t.Fatal("workload uniform not registered")
+	}
+	zipf, ok := Get(KindWorkload, "zipf") // s: Float guarded only by a Check
+	if !ok {
+		t.Fatal("workload zipf not registered")
+	}
+
+	// ParseParams path: strconv.ParseFloat accepts all these spellings.
+	for _, tc := range []struct {
+		comp Component
+		args string
+	}{
+		{uniform, "rate=NaN"},
+		{uniform, "rate=+Inf"},
+		{uniform, "rate=Inf"},
+		{uniform, "rate=-Inf"},
+		{zipf, "s=NaN"},
+		{zipf, "s=+Inf"},
+	} {
+		p, err := tc.comp.ParseParams(tc.args)
+		if err == nil {
+			t.Errorf("%s %q: ParseParams(%q) accepted non-finite value (%v)",
+				tc.comp.Kind, tc.comp.Name, tc.args, p)
+			continue
+		}
+		if !strings.Contains(err.Error(), "finite") {
+			t.Errorf("%s: error should name the non-finite value, got %v", tc.args, err)
+		}
+	}
+
+	// Validate path: values constructed programmatically, not parsed.
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := uniform.Validate(Params{"rate": FloatVal(f)}); err == nil {
+			t.Errorf("Validate accepted rate=%v", f)
+		}
+	}
+
+	// Finite values at the bounds still pass.
+	if _, err := uniform.ParseParams("rate=0"); err != nil {
+		t.Errorf("rate=0 should be valid: %v", err)
+	}
+	if _, err := zipf.ParseParams("s=1.5"); err != nil {
+		t.Errorf("s=1.5 should be valid: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package registry
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -160,6 +161,15 @@ func (c Component) Validate(p Params) error {
 		if v.T != sp.Type {
 			return fmt.Errorf("registry: %s %q: parameter %q is %s, got %s value %s",
 				c.Kind, c.Name, name, sp.Type, v.T, v)
+		}
+		// Non-finite floats must be rejected explicitly: NaN compares false
+		// against any bound (so it would sail through Min/Max), and ±Inf
+		// passes any one-sided bound. Once parameters arrive over the wire
+		// (cmd/serve -strategy, HTTP-configured components) this is an input
+		// validation hole, not a curiosity.
+		if v.T == Float && (math.IsNaN(v.F) || math.IsInf(v.F, 0)) {
+			return fmt.Errorf("registry: %s %q: parameter %q = %s is not a finite number",
+				c.Kind, c.Name, name, v)
 		}
 		if sp.Min != nil && v.Num() < *sp.Min {
 			return fmt.Errorf("registry: %s %q: parameter %q = %s below minimum %g",

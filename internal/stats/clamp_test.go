@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHistogramClampCounts pins the silent-clamping fix: out-of-range
+// samples still land in the edge buckets (quantiles stay defined), but the
+// folds are now counted so a biased tail cannot masquerade as exact data.
+func TestHistogramClampCounts(t *testing.T) {
+	h := NewHistogram(4)
+	for _, v := range []int{0, 1, 2, 3} {
+		h.Add(v)
+	}
+	if h.Underflow() != 0 || h.Overflow() != 0 {
+		t.Fatalf("in-range samples counted as clamped: under=%d over=%d", h.Underflow(), h.Overflow())
+	}
+	h.Add(-1)
+	h.Add(-7)
+	h.Add(4)
+	h.Add(100)
+	h.Add(1 << 30)
+	if got := h.Underflow(); got != 2 {
+		t.Errorf("underflow %d, want 2", got)
+	}
+	if got := h.Overflow(); got != 3 {
+		t.Errorf("overflow %d, want 3", got)
+	}
+	// Clamped samples still fold into the edge buckets and the total.
+	if got := h.Count(0); got != 3 {
+		t.Errorf("bucket 0 holds %d, want 3 (one real + two underflow)", got)
+	}
+	if got := h.Count(3); got != 4 {
+		t.Errorf("bucket 3 holds %d, want 4 (one real + three overflow)", got)
+	}
+	if got := h.Total(); got != 9 {
+		t.Errorf("total %d, want 9", got)
+	}
+	if got := h.Size(); got != 4 {
+		t.Errorf("size %d, want 4", got)
+	}
+}
+
+// TestAccStringEmpty pins the misleading-extrema fix: an accumulator with no
+// samples must say so instead of printing zeros that read like a perfect
+// measurement.
+func TestAccStringEmpty(t *testing.T) {
+	var a Acc
+	s := a.String()
+	if !strings.Contains(s, "n/a") || !strings.Contains(s, "n=0") {
+		t.Errorf("empty Acc prints %q, want n/a markers", s)
+	}
+	a.Add(2.5)
+	s = a.String()
+	if strings.Contains(s, "n/a") {
+		t.Errorf("non-empty Acc prints %q, want real statistics", s)
+	}
+	if !strings.Contains(s, "min=2.5000") || !strings.Contains(s, "max=2.5000") {
+		t.Errorf("single-sample Acc prints %q", s)
+	}
+}

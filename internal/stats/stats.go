@@ -55,15 +55,23 @@ func (a *Acc) Min() float64 { return a.min }
 func (a *Acc) Max() float64 { return a.max }
 
 func (a *Acc) String() string {
+	// With no samples every statistic is undefined; printing the zero values
+	// would read as a genuine (and suspiciously perfect) measurement.
+	if a.n == 0 {
+		return "n=0 mean=n/a std=n/a min=n/a max=n/a"
+	}
 	return fmt.Sprintf("n=%d mean=%.4f std=%.4f min=%.4f max=%.4f",
 		a.n, a.Mean(), a.Std(), a.Min(), a.Max())
 }
 
 // Histogram counts integer samples in unit buckets [0, size).
-// Out-of-range samples land in the edge buckets.
+// Out-of-range samples land in the edge buckets and are additionally counted
+// in Underflow/Overflow, so folded tails cannot silently bias quantiles.
 type Histogram struct {
-	buckets []int
-	total   int
+	buckets   []int
+	total     int
+	underflow int
+	overflow  int
 }
 
 // NewHistogram returns a histogram with the given number of unit buckets.
@@ -76,12 +84,16 @@ func NewHistogram(size int) *Histogram {
 	return &Histogram{buckets: make([]int, size)}
 }
 
-// Add counts one sample.
+// Add counts one sample. Samples outside [0, size) are clamped into the edge
+// buckets but tracked in Underflow/Overflow; quantiles over a histogram with
+// a non-zero overflow count are lower bounds, not exact values.
 func (h *Histogram) Add(v int) {
 	if v < 0 {
+		h.underflow++
 		v = 0
 	}
 	if v >= len(h.buckets) {
+		h.overflow++
 		v = len(h.buckets) - 1
 	}
 	h.buckets[v]++
@@ -93,6 +105,28 @@ func (h *Histogram) Count(i int) int { return h.buckets[i] }
 
 // Total returns the number of samples.
 func (h *Histogram) Total() int { return h.total }
+
+// Underflow returns the number of samples clamped up into bucket 0.
+func (h *Histogram) Underflow() int { return h.underflow }
+
+// Overflow returns the number of samples clamped down into the last bucket.
+func (h *Histogram) Overflow() int { return h.overflow }
+
+// Size returns the number of unit buckets.
+func (h *Histogram) Size() int { return len(h.buckets) }
+
+// Mean returns the mean of the bucketed samples (clamped values count at
+// their edge bucket). It is 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	sum := 0
+	for v, c := range h.buckets {
+		sum += v * c
+	}
+	return float64(sum) / float64(h.total)
+}
 
 // Quantile returns the smallest bucket b such that at least q (0..1) of the
 // samples are <= b.

@@ -144,11 +144,15 @@ func (e *TornTail) Error() string {
 }
 
 // ScanJSONLine reads one newline-terminated line from r, where off is the
-// byte offset of the line's start. It returns the line (without diagnosing
-// its JSON), the offset just past its newline, io.EOF on a clean end of
-// input (only whitespace remained), or a *TornTail when the input ends in an
-// unterminated line. It is the shared low-level scanner of the trace stream
-// reader and the grid checkpoint journal.
+// byte offset of the line's start. It returns the line with its terminator
+// stripped (without diagnosing its JSON), the offset just past its newline,
+// io.EOF on a clean end of input (only whitespace remained), or a *TornTail
+// when the input ends in an unterminated line. A trailing "\r" before the
+// newline is stripped too, so CRLF streams (curl from Windows, text-mode
+// file transfers) parse identically to LF ones; offsets always count the
+// raw bytes consumed, so torn-tail truncation points stay exact. It is the
+// shared low-level scanner of the trace stream reader and the grid
+// checkpoint journal.
 func ScanJSONLine(r *bufio.Reader, off int64) (line []byte, next int64, err error) {
 	for {
 		line, err = r.ReadBytes('\n')
@@ -159,6 +163,8 @@ func ScanJSONLine(r *bufio.Reader, off int64) (line []byte, next int64, err erro
 				off = next
 				continue
 			}
+			line = bytes.TrimSuffix(line, []byte("\n"))
+			line = bytes.TrimSuffix(line, []byte("\r"))
 			return line, next, nil
 		}
 		if err == io.EOF {
@@ -232,21 +238,34 @@ func (sr *StreamReader) Next() (StreamRecord, error) {
 		return StreamRecord{}, fmt.Errorf("trace: stream request %d: %w", sr.index, err)
 	}
 	sr.offset = next
-	var rec fileRecord
-	if err := json.Unmarshal(line, &rec); err != nil {
-		return StreamRecord{}, fmt.Errorf("trace: stream request %d: %w", sr.index, err)
-	}
-	if err := checkRecord(sr.n, sr.index, rec.T, rec.D, rec.Alts); err != nil {
+	out, err := DecodeStreamRecord(line, sr.n, sr.d, sr.index)
+	if err != nil {
 		return StreamRecord{}, err
 	}
-	if rec.T < sr.lastT {
-		return StreamRecord{}, fmt.Errorf("trace: stream request %d at round %d after round %d", sr.index, rec.T, sr.lastT)
+	if out.T < sr.lastT {
+		return StreamRecord{}, fmt.Errorf("trace: stream request %d at round %d after round %d", sr.index, out.T, sr.lastT)
 	}
-	sr.lastT = rec.T
+	sr.lastT = out.T
 	sr.index++
+	return out, nil
+}
+
+// DecodeStreamRecord decodes and validates one JSONL request line against a
+// stream contract (n resources, default deadline window d), resolving the D
+// and W defaults; index names the record in errors. It is the line-level core
+// of StreamReader.Next, exported for ingest paths — like the serve daemon —
+// that receive records outside a file stream and enforce ordering themselves.
+func DecodeStreamRecord(line []byte, n, d, index int) (StreamRecord, error) {
+	var rec fileRecord
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return StreamRecord{}, fmt.Errorf("trace: stream request %d: %w", index, err)
+	}
+	if err := checkRecord(n, index, rec.T, rec.D, rec.Alts); err != nil {
+		return StreamRecord{}, err
+	}
 	out := StreamRecord{T: rec.T, D: rec.D, W: rec.W, Alts: rec.Alts}
 	if out.D == 0 {
-		out.D = sr.d
+		out.D = d
 	}
 	if out.W < 1 {
 		out.W = 1

@@ -213,9 +213,14 @@ func BenchmarkEngineAllocs(b *testing.B) {
 	})
 	// A_local_eager exercises RoundContext.Unassigned every round, covering
 	// the context's scratch-buffer reuse alongside the global strategies.
+	// Each compose(router=X) entry must match its fused strategy's allocs/op:
+	// the composite's queue, key and sorter buffers are all reused, so the
+	// decomposition may not add per-round allocations.
 	for _, name := range []string{
 		"A_fix", "A_current", "A_fix_balance", "A_eager", "A_balance",
 		"A_local_eager",
+		"compose,router=fix", "compose,router=current", "compose,router=fix_balance",
+		"compose,router=eager", "compose,router=balance",
 	} {
 		name := name
 		b.Run(name, func(b *testing.B) {

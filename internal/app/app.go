@@ -59,6 +59,18 @@ func parse(fs *flag.FlagSet, args []string) (bool, int) {
 	}
 }
 
+// strategySpecError reports why a -strategy spec failed to resolve. The
+// facade's StrategyByName returns bare nil; the registry error underneath
+// names the failing part (unknown name, unknown axis component with the
+// catalog, bad parameter), which is what the user needs to fix the spec.
+func strategySpecError(stderr io.Writer, spec string) {
+	if _, err := registry.NewStrategySpec(spec); err != nil {
+		fmt.Fprintf(stderr, "%v (try -list)\n", err)
+		return
+	}
+	fmt.Fprintf(stderr, "unknown strategy %q (try -list)\n", spec)
+}
+
 // listingFlags registers the -list/-describe flags every binary carries.
 func listingFlags(fs *flag.FlagSet) (list *bool, describe *string) {
 	list = fs.Bool("list", false, "list every registered strategy, adversary, workload and objective, then exit")

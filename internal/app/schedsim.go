@@ -160,7 +160,7 @@ func SchedsimMain(args []string, stdout, stderr io.Writer) int {
 		}
 		s := reqsched.StrategyByName(name)
 		if s == nil {
-			fmt.Fprintf(stderr, "unknown strategy %q\n", name)
+			strategySpecError(stderr, name)
 			return 2
 		}
 		_, sr := reqsched.RunWithSeries(s, tr)
@@ -184,7 +184,7 @@ func SchedsimMain(args []string, stdout, stderr io.Writer) int {
 	for _, name := range names {
 		s := reqsched.StrategyByName(name)
 		if s == nil {
-			fmt.Fprintf(stderr, "unknown strategy %q\n", name)
+			strategySpecError(stderr, name)
 			return 2
 		}
 		res := reqsched.Run(s, tr)
@@ -209,9 +209,9 @@ func printLatencyHist(w io.Writer, name string, tr *reqsched.Trace, res *reqsche
 	}
 	fmt.Fprintf(w, "\n%s latency (rounds waited):\n", name)
 	fmt.Fprint(w, h.Bars(40))
-	if h.Underflow() > 0 || h.Overflow() > 0 {
-		fmt.Fprintf(w, "clamped: %d below 0, %d at/above %d\n",
-			h.Underflow(), h.Overflow(), h.Size())
+	if !h.Exact() {
+		fmt.Fprintf(w, "clamped: %d below 0, %d at/above %d (mean and quantiles value these tails at the sentinels -1 and %d)\n",
+			h.Underflow(), h.Overflow(), h.Size(), h.Size())
 	}
 	fmt.Fprintln(w)
 }

@@ -145,16 +145,11 @@ func serveChecks(add func(name string, ok bool, format string, args ...interface
 
 // buildStrategy resolves a "name[,key=value...]" spec against the registry.
 func buildStrategy(spec string) (core.Strategy, string, error) {
-	name, rest, _ := strings.Cut(spec, ",")
-	comp, ok := registry.Get(registry.KindStrategy, name)
-	if !ok {
+	name, _, _ := strings.Cut(spec, ",")
+	if _, ok := registry.Get(registry.KindStrategy, name); !ok {
 		return nil, "", fmt.Errorf("unknown strategy %q (try -list)", name)
 	}
-	params, err := comp.ParseParams(rest)
-	if err != nil {
-		return nil, "", err
-	}
-	s, err := registry.NewStrategy(name, params)
+	s, err := registry.NewStrategySpec(spec)
 	if err != nil {
 		return nil, "", err
 	}

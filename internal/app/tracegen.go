@@ -77,7 +77,7 @@ func tracegenShow(args []string, stdout, stderr io.Writer) int {
 	}
 	s := reqsched.StrategyByName(*name)
 	if s == nil {
-		fmt.Fprintf(stderr, "unknown strategy %q\n", *name)
+		strategySpecError(stderr, *name)
 		return 2
 	}
 	res, err := reqsched.RunChecked(s, tr)
@@ -280,7 +280,7 @@ func tracegenRun(args []string, stdout, stderr io.Writer) int {
 	}
 	s := reqsched.StrategyByName(*name)
 	if s == nil {
-		fmt.Fprintf(stderr, "unknown strategy %q\n", *name)
+		strategySpecError(stderr, *name)
 		return 2
 	}
 	res, err := reqsched.RunChecked(s, tr)

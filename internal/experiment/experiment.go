@@ -115,12 +115,32 @@ func (c *Config) validate() error {
 		sort.Strings(c.Strategies)
 	} else {
 		for _, name := range c.Strategies {
-			if _, ok := allStrategies()[name]; !ok {
+			if _, ok := strategyFactory(name); !ok {
 				return fmt.Errorf("experiment: unknown strategy %q", name)
 			}
 		}
 	}
 	return nil
+}
+
+// strategyFactory resolves a suite strategy entry: a parameterless listed
+// name from allStrategies, or any registry strategy spec such as
+// "compose,router=greedy,order=sjf" — so suites can compare composed
+// policies against the fused strategies.
+func strategyFactory(name string) (func() core.Strategy, bool) {
+	if mk, ok := allStrategies()[name]; ok {
+		return mk, true
+	}
+	if _, err := registry.NewStrategySpec(name); err != nil {
+		return nil, false
+	}
+	return func() core.Strategy {
+		s, err := registry.NewStrategySpec(name)
+		if err != nil {
+			panic(err) // unreachable: spec validated at resolution
+		}
+		return s
+	}, true
 }
 
 // allStrategies exposes every parameterless registered strategy to suite
@@ -215,9 +235,12 @@ func (c *Config) Run() (*Report, error) {
 		optSum += offline.OptimumParallel(gen(seed), c.Workers)
 	}
 	rep.MeanOptimum = float64(optSum) / float64(c.Seeds)
-	mk := allStrategies()
 	for _, name := range c.Strategies {
-		sum, err := ratio.SummarizeParallel(mk[name], gen, c.Seeds, c.Workers)
+		mk, ok := strategyFactory(name)
+		if !ok {
+			return nil, fmt.Errorf("experiment: unknown strategy %q", name)
+		}
+		sum, err := ratio.SummarizeParallel(mk, gen, c.Seeds, c.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: strategy %s: %w", name, err)
 		}

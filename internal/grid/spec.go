@@ -173,10 +173,13 @@ func (b BuildSpec) Construction() (adversary.Construction, error) {
 	return registry.BuildSource(b.Kind, p)
 }
 
-// newStrategy returns a fresh instance of the named strategy (default
-// params) from the registry, or nil.
-func newStrategy(name string) core.Strategy {
-	s, err := registry.NewStrategy(name, nil)
+// newStrategy returns a fresh instance of the strategy spec
+// ("name[,key=value...]") from the registry, or nil. Bare names construct
+// with default parameters, so pre-existing manifests (and their
+// content-derived job IDs) are unchanged; parameterized specs such as
+// "compose,router=greedy,order=sjf" hash to their own IDs.
+func newStrategy(spec string) core.Strategy {
+	s, err := registry.NewStrategySpec(spec)
 	if err != nil {
 		return nil
 	}

@@ -1,0 +1,80 @@
+package policy
+
+import "reqsched/internal/core"
+
+// AdmitAll accepts every arrival: the paper's model, and the admission axis
+// of every canonical composition.
+type AdmitAll struct{}
+
+// Name implements Admission.
+func (AdmitAll) Name() string { return "always" }
+
+// Begin implements Admission.
+func (AdmitAll) Begin(int, int) {}
+
+// Admit implements Admission.
+func (AdmitAll) Admit(*core.RoundContext, *core.Request) bool { return true }
+
+// BurstAdmission caps arrivals at K per round, rejecting the rest — a token
+// bucket with window one round. It bounds how much backlog a burst can
+// inject, trading rejected requests for the survivors' service quality.
+type BurstAdmission struct {
+	K int
+
+	t     int
+	count int
+}
+
+// Name implements Admission.
+func (*BurstAdmission) Name() string { return "burst" }
+
+// Begin implements Admission.
+func (b *BurstAdmission) Begin(int, int) { b.t, b.count = -1, 0 }
+
+// Admit implements Admission.
+func (b *BurstAdmission) Admit(ctx *core.RoundContext, _ *core.Request) bool {
+	if ctx.T != b.t {
+		b.t, b.count = ctx.T, 0
+	}
+	b.count++
+	return b.count <= b.K
+}
+
+// BacklogAdmission rejects arrivals while the unassigned backlog carried
+// from earlier rounds is at or above Limit — load shedding keyed to queue
+// depth rather than arrival rate, the engine-side analogue of the serve
+// daemon's 429-on-full-queue.
+type BacklogAdmission struct {
+	Limit int
+
+	t       int
+	allowed int
+	taken   int
+}
+
+// Name implements Admission.
+func (*BacklogAdmission) Name() string { return "backlog" }
+
+// Begin implements Admission.
+func (a *BacklogAdmission) Begin(int, int) { a.t = -1 }
+
+// Admit implements Admission.
+func (a *BacklogAdmission) Admit(ctx *core.RoundContext, _ *core.Request) bool {
+	if ctx.T != a.t {
+		// Backlog carried into this round: pending requests from earlier
+		// rounds still waiting for a slot. This round's arrivals (already in
+		// ctx.Pending when the strategy runs) are excluded — they are what
+		// is being admitted.
+		backlog := 0
+		for _, r := range ctx.Pending {
+			if r.Arrive < ctx.T && !ctx.W.Assigned(r) {
+				backlog++
+			}
+		}
+		a.t = ctx.T
+		a.allowed = a.Limit - backlog
+		a.taken = 0
+	}
+	a.taken++
+	return a.taken <= a.allowed
+}

@@ -1,0 +1,41 @@
+package policy_test
+
+import (
+	"testing"
+
+	"reqsched"
+)
+
+// TestComposedFormsAddNoEngineAllocs pins the zero-overhead contract of the
+// decomposition: once constructed (and warmed once so the reusable queue/key
+// buffers have grown to the workload's high-water mark), a canonical
+// compose(router=X) strategy allocates exactly as much per simulation as the
+// fused legacy strategy it decomposes. The composite's queue, priority keys,
+// and sorter all live in reused scratch, and FCFS ordering with no rejections
+// never touches the rejected map — so the steady-state hot path is the same
+// allocation-free round loop. BenchmarkEngineAllocs covers the same pairs
+// with construction included; this test isolates the engine hot path.
+func TestComposedFormsAddNoEngineAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is slow with -short")
+	}
+	tr := reqsched.Uniform(reqsched.WorkloadConfig{N: 16, D: 6, Rounds: 300, Rate: 18, Seed: 11})
+	for _, p := range [][2]string{
+		{"A_fix", "compose,router=fix"},
+		{"A_current", "compose,router=current"},
+		{"A_fix_balance", "compose,router=fix_balance"},
+		{"A_eager", "compose,router=eager"},
+		{"A_balance", "compose,router=balance"},
+	} {
+		legacy := reqsched.StrategyByName(p[0])
+		comp := reqsched.StrategyByName(p[1])
+		// Warm both so one-time buffer growth is off the books.
+		reqsched.Run(legacy, tr)
+		reqsched.Run(comp, tr)
+		want := testing.AllocsPerRun(10, func() { reqsched.Run(legacy, tr) })
+		got := testing.AllocsPerRun(10, func() { reqsched.Run(comp, tr) })
+		if got > want {
+			t.Errorf("%s allocates %v per run, fused %s only %v", p[1], got, p[0], want)
+		}
+	}
+}

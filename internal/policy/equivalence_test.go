@@ -1,0 +1,168 @@
+package policy_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"reqsched"
+	"reqsched/internal/core"
+	"reqsched/internal/registry"
+)
+
+// canonical maps each fused strategy to its composed form. The compositions
+// use the default order/admission/priority axes (fcfs/always/constant), so
+// they must reproduce the fused strategies' schedules byte for byte — the
+// determinism contract every golden and adversary construction leans on.
+var canonical = [][2]string{
+	{"A_fix", "compose,router=fix"},
+	{"A_current", "compose,router=current"},
+	{"A_fix_balance", "compose,router=fix_balance"},
+	{"A_eager", "compose,router=eager"},
+	{"A_balance", "compose,router=balance"},
+	{"first_fit", "compose,router=first_fit"},
+}
+
+// sameSchedule fails unless the two results carry the identical fulfillment
+// schedule: same requests (by ID), resources and rounds, in the same service
+// order.
+func sameSchedule(t *testing.T, label string, a, b *core.Result) {
+	t.Helper()
+	if a.Requests != b.Requests || a.Fulfilled != b.Fulfilled || a.Expired != b.Expired {
+		t.Errorf("%s: totals diverge: %d/%d/%d vs %d/%d/%d",
+			label, a.Requests, a.Fulfilled, a.Expired, b.Requests, b.Fulfilled, b.Expired)
+		return
+	}
+	if len(a.Log) != len(b.Log) {
+		t.Errorf("%s: log length %d vs %d", label, len(a.Log), len(b.Log))
+		return
+	}
+	for i := range a.Log {
+		fa, fb := a.Log[i], b.Log[i]
+		if fa.Req.ID != fb.Req.ID || fa.Res != fb.Res || fa.Round != fb.Round {
+			t.Errorf("%s: schedule diverges at entry %d: req %d res %d round %d vs req %d res %d round %d",
+				label, i, fa.Req.ID, fa.Res, fa.Round, fb.Req.ID, fb.Res, fb.Round)
+			return
+		}
+	}
+}
+
+// runParallel fans job indices 0..n-1 over `workers` goroutines — the
+// property holds per strategy instance, so instances built inside fn must
+// stay goroutine-local (each index constructs its own).
+func runParallel(t *testing.T, workers, n int, fn func(i int)) {
+	t.Helper()
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// TestCanonicalCompositionsMatchLegacyOnAdversaries runs every canonical
+// composition against every registered lower-bound construction — the Table
+// 1 adversaries plus the local/EDF/universal ones — and demands the exact
+// fused schedule (oblivious constructions) or the exact measurement
+// (adaptive ones), at worker-pool sizes 1, 2 and 4.
+func TestCanonicalCompositionsMatchLegacyOnAdversaries(t *testing.T) {
+	advs := registry.Names(registry.KindAdversary)
+	type job struct {
+		adv  string
+		pair [2]string
+	}
+	var jobs []job
+	for _, adv := range advs {
+		for _, pair := range canonical {
+			jobs = append(jobs, job{adv, pair})
+		}
+	}
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			runParallel(t, workers, len(jobs), func(i int) {
+				j := jobs[i]
+				label := fmt.Sprintf("%s vs %s on adversary %s", j.pair[0], j.pair[1], j.adv)
+				c, err := registry.BuildAdversary(j.adv, registry.Params{"phases": registry.IntVal(2)})
+				if err != nil {
+					t.Errorf("%s: build: %v", label, err)
+					return
+				}
+				if c.Trace != nil {
+					legacy := reqsched.Run(reqsched.StrategyByName(j.pair[0]), c.Trace)
+					composed := reqsched.Run(reqsched.StrategyByName(j.pair[1]), c.Trace)
+					sameSchedule(t, label, legacy, composed)
+					return
+				}
+				// Adaptive source: the construction generates the trace while
+				// observing the strategy, so compare the end-to-end measurement.
+				ml := reqsched.MeasureConstruction(c, reqsched.StrategyByName(j.pair[0]))
+				c2, err := registry.BuildAdversary(j.adv, registry.Params{"phases": registry.IntVal(2)})
+				if err != nil {
+					t.Errorf("%s: rebuild: %v", label, err)
+					return
+				}
+				mc := reqsched.MeasureConstruction(c2, reqsched.StrategyByName(j.pair[1]))
+				if ml.OPT != mc.OPT || ml.ALG != mc.ALG || ml.Expired != mc.Expired {
+					t.Errorf("%s: adaptive measurement diverges: OPT %d ALG %d expired %d vs OPT %d ALG %d expired %d",
+						label, ml.OPT, ml.ALG, ml.Expired, mc.OPT, mc.ALG, mc.Expired)
+				}
+			})
+		})
+	}
+}
+
+// TestCanonicalCompositionsMatchLegacyOnRandomWorkloads is the bulk property
+// sweep: ≥1000 random workloads per worker-pool size (uniform, bursty and
+// mixed-deadline families across n, d, load and seed), each checked for a
+// byte-identical schedule between a fused strategy and its composition.
+func TestCanonicalCompositionsMatchLegacyOnRandomWorkloads(t *testing.T) {
+	const total = 1050
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			runParallel(t, workers, total, func(i int) {
+				cfg := reqsched.WorkloadConfig{
+					N:      2 + i%5,
+					D:      1 + i%4,
+					Rounds: 10 + i%21,
+					Rate:   0.6 * float64(1+i%7),
+					Seed:   int64(100000*workers + i),
+				}
+				var tr *reqsched.Trace
+				switch i % 3 {
+				case 0:
+					tr = reqsched.Uniform(cfg)
+				case 1:
+					tr = reqsched.Bursty(cfg, 2+i%3, 3+i%5, 3*cfg.Rate)
+				default:
+					tr = reqsched.MixedDeadlines(cfg)
+				}
+				pair := canonical[i%len(canonical)]
+				label := fmt.Sprintf("%s vs %s on workload %d (n=%d d=%d)", pair[0], pair[1], i, cfg.N, cfg.D)
+				legacy := reqsched.Run(reqsched.StrategyByName(pair[0]), tr)
+				composed := reqsched.Run(reqsched.StrategyByName(pair[1]), tr)
+				sameSchedule(t, label, legacy, composed)
+			})
+		})
+	}
+}
+
+// TestDefaultComposeIsBalance: the all-defaults composition is A_balance —
+// the paper's best simple strategy is the default composition.
+func TestDefaultComposeIsBalance(t *testing.T) {
+	tr := reqsched.Uniform(reqsched.WorkloadConfig{N: 8, D: 4, Rounds: 80, Rate: 9, Seed: 3})
+	legacy := reqsched.Run(reqsched.StrategyByName("A_balance"), tr)
+	composed := reqsched.Run(reqsched.StrategyByName("compose"), tr)
+	sameSchedule(t, "A_balance vs compose", legacy, composed)
+}

@@ -1,0 +1,69 @@
+package policy_test
+
+import (
+	"testing"
+
+	"reqsched"
+)
+
+// tightServed counts fulfilled requests with deadline window <= tight.
+func tightServed(res *reqsched.Result, tight int) int {
+	c := 0
+	for _, f := range res.Log {
+		if f.Req.D <= tight {
+			c++
+		}
+	}
+	return c
+}
+
+// TestSJFRelievesHeadOfLineBlocking is the pinned head-of-line-blocking
+// experiment the policy decomposition exists to enable (ROADMAP: the H1-SJF
+// result inside the paper's two-choice deadline model).
+//
+// Setup: mixed deadline windows (uniform 1..6) at 1.5x overload on the
+// current router, which assigns only the current round's slots — so the
+// queue order alone decides who gets served today. Under FCFS, wide-window
+// requests at the head of the queue soak up the slots round after round
+// while tight-window (D <= 2) arrivals expire behind them: classic
+// head-of-line blocking. SJF serves the tightest windows first and rescues
+// them — a ~6x jump in tight-window service — at no cost in total
+// throughput, because wide-window requests can wait and still make their
+// deadlines.
+//
+// The exact totals are pinned: the workload and both strategies are
+// deterministic, so any drift here is a behavior change in the engine, the
+// router bodies, or the order axis.
+func TestSJFRelievesHeadOfLineBlocking(t *testing.T) {
+	tr := reqsched.MixedDeadlines(reqsched.WorkloadConfig{
+		N: 4, D: 6, Rounds: 120, Rate: 6, Seed: 7,
+	})
+	fcfs := reqsched.Run(reqsched.StrategyByName("compose,router=current,order=fcfs"), tr)
+	sjf := reqsched.Run(reqsched.StrategyByName("compose,router=current,order=sjf"), tr)
+
+	if fcfs.Requests != 687 {
+		t.Fatalf("workload drifted: %d requests, want 687", fcfs.Requests)
+	}
+	if got, want := fcfs.Fulfilled, 485; got != want {
+		t.Errorf("FCFS fulfilled %d, want %d", got, want)
+	}
+	if got, want := sjf.Fulfilled, 485; got != want {
+		t.Errorf("SJF fulfilled %d, want %d", got, want)
+	}
+	if got, want := tightServed(fcfs, 2), 36; got != want {
+		t.Errorf("FCFS tight-window service %d, want %d", got, want)
+	}
+	if got, want := tightServed(sjf, 2), 214; got != want {
+		t.Errorf("SJF tight-window service %d, want %d", got, want)
+	}
+	// The qualitative claims behind the pinned numbers, so a legitimate
+	// re-pin cannot silently invert the result: SJF must serve several times
+	// more tight-window requests without losing total throughput.
+	if tightServed(sjf, 2) < 3*tightServed(fcfs, 2) {
+		t.Errorf("SJF no longer relieves head-of-line blocking: tight %d vs %d",
+			tightServed(sjf, 2), tightServed(fcfs, 2))
+	}
+	if sjf.Fulfilled < fcfs.Fulfilled {
+		t.Errorf("SJF lost throughput: %d vs %d", sjf.Fulfilled, fcfs.Fulfilled)
+	}
+}

@@ -1,0 +1,43 @@
+package policy
+
+import "reqsched/internal/core"
+
+// ConstantPriority scores every request 0: no priority signal, order axes
+// fall back to their own keys. The canonical compositions use it.
+type ConstantPriority struct{}
+
+// Name implements Priority.
+func (ConstantPriority) Name() string { return "constant" }
+
+// Score implements Priority.
+func (ConstantPriority) Score(*core.Request, int) float64 { return 0 }
+
+// WeightPriority scores a request by its weight, so priority_fcfs serves
+// heavy (high-profit) requests first — the greedy end of the weighted
+// objective.
+type WeightPriority struct{}
+
+// Name implements Priority.
+func (WeightPriority) Name() string { return "weight" }
+
+// Score implements Priority.
+func (WeightPriority) Score(r *core.Request, _ int) float64 {
+	return float64(r.Weight())
+}
+
+// SLOAgePriority implements aged SLO scheduling: score = base + age_weight ×
+// rounds waited. With priority_fcfs this keeps long-waiting requests from
+// starving under any static class order — the anti-starvation half of an
+// SLO-aware scheduler.
+type SLOAgePriority struct {
+	Base      float64
+	AgeWeight float64
+}
+
+// Name implements Priority.
+func (SLOAgePriority) Name() string { return "slo_age" }
+
+// Score implements Priority.
+func (p SLOAgePriority) Score(r *core.Request, t int) float64 {
+	return p.Base + p.AgeWeight*float64(t-r.Arrive)
+}

@@ -1,0 +1,59 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestComposeConstruction: the compose strategy resolves its axis references,
+// rejects unknown ones with the catalog in the message, and names instances
+// by their round-trippable spec.
+func TestComposeConstruction(t *testing.T) {
+	s, err := NewStrategySpec("compose")
+	if err != nil {
+		t.Fatalf("compose with defaults: %v", err)
+	}
+	if s.Name() != "compose" {
+		t.Errorf("default composition named %q, want compose", s.Name())
+	}
+
+	spec := "compose,router=greedy,order=sjf"
+	s, err = NewStrategySpec(spec)
+	if err != nil {
+		t.Fatalf("NewStrategySpec(%q): %v", spec, err)
+	}
+	if s.Name() != spec {
+		t.Errorf("composition named %q, want the spec %q", s.Name(), spec)
+	}
+	// The instance name is itself a resolvable spec.
+	if _, err := NewStrategySpec(s.Name()); err != nil {
+		t.Errorf("instance name %q does not round-trip: %v", s.Name(), err)
+	}
+
+	for _, bad := range []string{
+		"compose,router=nope",
+		"compose,order=nope",
+		"compose,admit=nope",
+		"compose,prio=nope",
+	} {
+		_, err := NewStrategySpec(bad)
+		if err == nil {
+			t.Errorf("NewStrategySpec(%q) accepted an unknown axis", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "unknown") {
+			t.Errorf("NewStrategySpec(%q): unhelpful error %v", bad, err)
+		}
+	}
+
+	// Parameterized axes flow through: a burst admission with k=2 and an
+	// aged-SLO priority build without error and keep their spec name.
+	spec = "compose,order=priority_fcfs,admit=burst,prio=slo_age,k=2,base=1,age_weight=0.5"
+	s, err = NewStrategySpec(spec)
+	if err != nil {
+		t.Fatalf("NewStrategySpec(%q): %v", spec, err)
+	}
+	if s.Name() != spec {
+		t.Errorf("composition named %q, want %q", s.Name(), spec)
+	}
+}

@@ -8,19 +8,24 @@ import (
 	"strings"
 )
 
-// Type is the value type of a component parameter. All of the paper's
-// parameters are numeric: counts and seeds are Int (carried as int64, so
-// seeds round-trip exactly), rates and exponents are Float.
+// Type is the value type of a component parameter. The paper's parameters
+// are numeric: counts and seeds are Int (carried as int64, so seeds
+// round-trip exactly), rates and exponents are Float. Str names another
+// registered component — the compose strategy's axis references.
 type Type int
 
 const (
 	Int Type = iota
 	Float
+	Str
 )
 
 func (t Type) String() string {
-	if t == Float {
+	switch t {
+	case Float:
 		return "float"
+	case Str:
+		return "string"
 	}
 	return "int"
 }
@@ -30,23 +35,32 @@ type Value struct {
 	T Type
 	I int64
 	F float64
+	S string
 }
 
-// IntVal and FloatVal build Values.
-func IntVal(i int64) Value   { return Value{T: Int, I: i} }
+// IntVal, FloatVal and StrVal build Values.
+func IntVal(i int64) Value     { return Value{T: Int, I: i} }
 func FloatVal(f float64) Value { return Value{T: Float, F: f} }
+func StrVal(s string) Value    { return Value{T: Str, S: s} }
 
-// Num returns the value as a float64 regardless of type (for range checks).
+// Num returns the value as a float64 regardless of type (for range checks;
+// Str values have no numeric form and no bounds).
 func (v Value) Num() float64 {
-	if v.T == Int {
+	switch v.T {
+	case Int:
 		return float64(v.I)
+	case Str:
+		return 0
 	}
 	return v.F
 }
 
 func (v Value) String() string {
-	if v.T == Int {
+	switch v.T {
+	case Int:
 		return strconv.FormatInt(v.I, 10)
+	case Str:
+		return v.S
 	}
 	// 'g' with -1 precision is the shortest representation that parses back
 	// to exactly the same float64, so FormatParams/ParseParams round-trip.
@@ -100,6 +114,9 @@ func (p Params) Int64(name string) int64 { return p[name].I }
 
 // Float returns the named parameter as a float64.
 func (p Params) Float(name string) float64 { return p[name].F }
+
+// Str returns the named parameter as a string.
+func (p Params) Str(name string) string { return p[name].S }
 
 // Clone returns a copy of p.
 func (p Params) Clone() Params {
@@ -270,6 +287,8 @@ func (c Component) ParseParams(s string) (Params, error) {
 					c.Kind, c.Name, name, val)
 			}
 			p[name] = FloatVal(f)
+		case Str:
+			p[name] = StrVal(val)
 		}
 	}
 	if err := c.Validate(p); err != nil {

@@ -22,6 +22,7 @@ import (
 
 	"reqsched/internal/adversary"
 	"reqsched/internal/core"
+	"reqsched/internal/policy"
 )
 
 // Kind partitions the catalog.
@@ -36,11 +37,21 @@ const (
 	KindWorkload Kind = "workload"
 	// KindObjective is an offline optimum objective.
 	KindObjective Kind = "objective"
+	// KindRouter is a policy axis: which resource serves each request.
+	KindRouter Kind = "router"
+	// KindOrder is a policy axis: which pending request is served first.
+	KindOrder Kind = "order"
+	// KindAdmission is a policy axis: accept or reject a request on arrival.
+	KindAdmission Kind = "admission"
+	// KindPriority is a policy axis: a score per request feeding the order.
+	KindPriority Kind = "priority"
 )
 
-// Kinds lists the catalog partitions in display order.
+// Kinds lists the catalog partitions in display order. The last four are the
+// policy axes the "compose" strategy assembles (see internal/policy).
 func Kinds() []Kind {
-	return []Kind{KindStrategy, KindAdversary, KindWorkload, KindObjective}
+	return []Kind{KindStrategy, KindAdversary, KindWorkload, KindObjective,
+		KindRouter, KindOrder, KindAdmission, KindPriority}
 }
 
 // Component is one catalog entry. Exactly one of the constructor fields is
@@ -75,6 +86,12 @@ type Component struct {
 	// Evaluate computes the offline objective on a trace with the given
 	// worker-pool size (KindObjective).
 	Evaluate func(tr *core.Trace, workers int) int
+	// Router, Order, Priority and Admission construct policy-axis components
+	// (KindRouter, KindOrder, KindPriority, KindAdmission).
+	Router    func(Params) policy.Router
+	Order     func(Params) policy.QueueOrder
+	Priority  func(Params) policy.Priority
+	Admission func(Params) policy.Admission
 }
 
 var catalog = map[Kind]map[string]Component{}
@@ -97,6 +114,14 @@ func Register(c Component) {
 		ok = c.Generate != nil
 	case KindObjective:
 		ok = c.Evaluate != nil
+	case KindRouter:
+		ok = c.Router != nil
+	case KindOrder:
+		ok = c.Order != nil
+	case KindPriority:
+		ok = c.Priority != nil
+	case KindAdmission:
+		ok = c.Admission != nil
 	default:
 		panic(fmt.Sprintf("registry: %q: unknown kind %q", c.Name, c.Kind))
 	}
@@ -179,6 +204,77 @@ func NewStrategy(name string, p Params) (core.Strategy, error) {
 		return nil, err
 	}
 	return c.Strategy(full), nil
+}
+
+// NewStrategySpec resolves a "name[,key=value...]" strategy spec — the form
+// every frontend accepts (-strategy flags, grid manifests, experiment
+// suites) — and constructs the strategy. A bare name is the name with
+// default parameters, so all pre-existing spec strings (and the job IDs
+// derived from them) are unchanged.
+func NewStrategySpec(spec string) (core.Strategy, error) {
+	name, rest, _ := strings.Cut(spec, ",")
+	c, ok := Get(KindStrategy, name)
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown strategy %q", name)
+	}
+	p, err := c.ParseParams(rest)
+	if err != nil {
+		return nil, err
+	}
+	return NewStrategy(name, p)
+}
+
+// NewRouter, NewOrder, NewPriority and NewAdmission construct policy-axis
+// components with the given params (nil: defaults).
+func NewRouter(name string, p Params) (policy.Router, error) {
+	c, ok := Get(KindRouter, name)
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown router %q", name)
+	}
+	full, err := c.Apply(p)
+	if err != nil {
+		return nil, err
+	}
+	return c.Router(full), nil
+}
+
+// NewOrder constructs the named queue order.
+func NewOrder(name string, p Params) (policy.QueueOrder, error) {
+	c, ok := Get(KindOrder, name)
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown order %q", name)
+	}
+	full, err := c.Apply(p)
+	if err != nil {
+		return nil, err
+	}
+	return c.Order(full), nil
+}
+
+// NewPriority constructs the named priority.
+func NewPriority(name string, p Params) (policy.Priority, error) {
+	c, ok := Get(KindPriority, name)
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown priority %q", name)
+	}
+	full, err := c.Apply(p)
+	if err != nil {
+		return nil, err
+	}
+	return c.Priority(full), nil
+}
+
+// NewAdmission constructs the named admission policy.
+func NewAdmission(name string, p Params) (policy.Admission, error) {
+	c, ok := Get(KindAdmission, name)
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown admission %q", name)
+	}
+	full, err := c.Apply(p)
+	if err != nil {
+		return nil, err
+	}
+	return c.Admission(full), nil
 }
 
 // BuildAdversary constructs the named adversarial input with the given

@@ -16,7 +16,7 @@ func TestRegistryCompleteness(t *testing.T) {
 		"EDF", "EDF_coordinated", "first_fit",
 		"A_local_fix", "A_local_eager", "A_local_eager_wide",
 	}
-	wantUnlisted := []string{"A_fix_w", "A_eager_w", "random_fit", "ranking"}
+	wantUnlisted := []string{"A_fix_w", "A_eager_w", "random_fit", "ranking", "compose"}
 	for _, name := range append(append([]string{}, wantListed...), wantUnlisted...) {
 		c, ok := Get(KindStrategy, name)
 		if !ok {
@@ -102,6 +102,53 @@ func TestRegistryCompleteness(t *testing.T) {
 		t.Errorf("registry has %d objectives, want %d", n, len(wantObjectives))
 	}
 
+	// The policy axes: every router, order, admission and priority of
+	// internal/policy and internal/strategies is registered and constructs.
+	wantRouters := []string{"balance", "current", "eager", "first_fit", "fix", "fix_balance", "greedy"}
+	for _, name := range wantRouters {
+		if r, err := NewRouter(name, nil); err != nil {
+			t.Errorf("NewRouter(%q): %v", name, err)
+		} else if r.Name() != name {
+			t.Errorf("router %q constructs %q", name, r.Name())
+		}
+	}
+	if n := len(All(KindRouter)); n != len(wantRouters) {
+		t.Errorf("registry has %d routers, want %d", n, len(wantRouters))
+	}
+	wantOrders := []string{"fcfs", "priority_fcfs", "sjf"}
+	for _, name := range wantOrders {
+		if o, err := NewOrder(name, nil); err != nil {
+			t.Errorf("NewOrder(%q): %v", name, err)
+		} else if o.Name() != name {
+			t.Errorf("order %q constructs %q", name, o.Name())
+		}
+	}
+	if n := len(All(KindOrder)); n != len(wantOrders) {
+		t.Errorf("registry has %d orders, want %d", n, len(wantOrders))
+	}
+	wantAdmissions := []string{"always", "backlog", "burst"}
+	for _, name := range wantAdmissions {
+		if a, err := NewAdmission(name, nil); err != nil {
+			t.Errorf("NewAdmission(%q): %v", name, err)
+		} else if a.Name() != name {
+			t.Errorf("admission %q constructs %q", name, a.Name())
+		}
+	}
+	if n := len(All(KindAdmission)); n != len(wantAdmissions) {
+		t.Errorf("registry has %d admissions, want %d", n, len(wantAdmissions))
+	}
+	wantPriorities := []string{"constant", "slo_age", "weight"}
+	for _, name := range wantPriorities {
+		if pr, err := NewPriority(name, nil); err != nil {
+			t.Errorf("NewPriority(%q): %v", name, err)
+		} else if pr.Name() != name {
+			t.Errorf("priority %q constructs %q", name, pr.Name())
+		}
+	}
+	if n := len(All(KindPriority)); n != len(wantPriorities) {
+		t.Errorf("registry has %d priorities, want %d", n, len(wantPriorities))
+	}
+
 	// Find resolves bare and kind-qualified names; Describe renders a schema.
 	if _, ok := Find("balance"); !ok {
 		t.Error("Find(balance) failed")
@@ -126,6 +173,38 @@ func TestUnknownParamRejected(t *testing.T) {
 			if _, err := c.ParseParams("no_such_param=1"); err == nil {
 				t.Errorf("%s %q parsed an unknown parameter", c.Kind, c.Name)
 			}
+		}
+	}
+}
+
+// TestDuplicateParamRejected: ParseParams must reject a repeated key with a
+// clear error instead of letting the last occurrence win silently — a
+// "k=1,k=2" spec is a typo or a spoofed override, never intent. Regression
+// test for the duplicate-key check in ParseParams; the FuzzParseParams
+// corpus carries matching seeds.
+func TestDuplicateParamRejected(t *testing.T) {
+	cases := []struct {
+		kind  Kind
+		name  string
+		parms string
+	}{
+		{KindWorkload, "uniform", "n=1,n=2"},
+		{KindWorkload, "uniform", "seed=1, seed=1"}, // even identical repeats
+		{KindAdversary, "balance", "k=1,x=2,k=3"},
+		{KindStrategy, "compose", "router=greedy,router=balance"},
+	}
+	for _, tc := range cases {
+		c, ok := Get(tc.kind, tc.name)
+		if !ok {
+			t.Fatalf("%s %q not registered", tc.kind, tc.name)
+		}
+		_, err := c.ParseParams(tc.parms)
+		if err == nil {
+			t.Errorf("%s %q accepted duplicate key in %q", tc.kind, tc.name, tc.parms)
+			continue
+		}
+		if !strings.Contains(err.Error(), "duplicate parameter") {
+			t.Errorf("%s %q: duplicate key error lacks a clear message: %v", tc.kind, tc.name, err)
 		}
 	}
 }
@@ -221,6 +300,11 @@ func FuzzParseParams(f *testing.F) {
 	f.Add("uniform", "n=9007199254740993")
 	f.Add("uniform", "rate=NaN")
 	f.Add("uniform", "n=-1,n=2")
+	f.Add("uniform", "seed=1,seed=1")
+	f.Add("compose", "router=greedy,order=sjf")
+	f.Add("compose", "router=no_such_router")
+	f.Add("compose", "prio=slo_age,base=1.5,age_weight=0.25")
+	f.Add("compose", "admit=burst,k=2,admit=burst")
 	f.Fuzz(func(t *testing.T, name, s string) {
 		c, ok := Find(name)
 		if !ok {

@@ -29,7 +29,8 @@ import (
 type Record struct {
 	// Name is the display label measurements are reported under.
 	Name string
-	// Strategy is a registry strategy name (default parameters).
+	// Strategy is a registry strategy spec: a name, optionally followed by
+	// ",key=value" parameters (a bare name uses the defaults).
 	Strategy string
 	// Source is a registry adversary or workload name.
 	Source string
@@ -228,7 +229,7 @@ func Measure(job grid.Job) (ratio.Measurement, error) {
 	if err != nil {
 		return ratio.Measurement{}, err
 	}
-	s, err := registry.NewStrategy(job.Spec.Strategy, nil)
+	s, err := registry.NewStrategySpec(job.Spec.Strategy)
 	if err != nil {
 		return ratio.Measurement{}, err
 	}

@@ -157,12 +157,23 @@ func (s *Server) nextRound() int {
 }
 
 // retryAfter estimates (in whole seconds, minimum 1) when the queue will
-// have drained by a round.
+// have drained. The n resources serve at most n queued records per round, so
+// a backlog of depth q needs ceil(q/n) rounds; hinting a single round
+// regardless of depth (the old behavior) invites a retry stampede exactly
+// when the daemon is most loaded. Takes s.mu itself: the ingest failure path
+// calls it after releasing the lock.
 func (s *Server) retryAfter() int {
 	if s.cfg.RoundDur <= 0 {
 		return 1
 	}
-	secs := int(s.cfg.RoundDur.Seconds())
+	s.mu.Lock()
+	depth := len(s.queue)
+	s.mu.Unlock()
+	rounds := (depth + s.cfg.N - 1) / s.cfg.N
+	if rounds < 1 {
+		rounds = 1
+	}
+	secs := int(math.Ceil(float64(rounds) * s.cfg.RoundDur.Seconds()))
 	if secs < 1 {
 		secs = 1
 	}
@@ -242,6 +253,11 @@ func writePrometheus(w io.Writer, m Metrics) {
 		}
 		fmt.Fprintf(w, "reqsched_latency_rounds_count %d\n", m.Latency.Samples)
 		g("reqsched_latency_overflow_total", m.Latency.Overflow, "Latency samples clamped into the last bucket.")
+		e := 0
+		if m.Latency.Exact {
+			e = 1
+		}
+		g("reqsched_latency_exact", e, "1 while no latency sample has been clamped (quantiles are exact).")
 	}
 	g("reqsched_segments_closed_total", m.Rolling.Closed, "Time segments closed by the cutter.")
 	g("reqsched_segments_solved_total", m.Rolling.Solved, "Segments whose offline optimum is folded in.")

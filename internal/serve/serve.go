@@ -394,7 +394,9 @@ type Metrics struct {
 // LatencyStats summarizes the service-latency histogram (rounds waited
 // between arrival and service). Overflow counts samples clamped into the last
 // bucket — with the histogram sized to the maximum window it stays 0, so a
-// non-zero value flags a sizing bug rather than load.
+// non-zero value flags a sizing bug rather than load. Exact mirrors
+// Histogram.Exact: when false, Mean and the quantiles value the clamped tails
+// at their sentinels (-1 / bucket count) instead of understating them.
 type LatencyStats struct {
 	Samples  int     `json:"samples"`
 	Mean     float64 `json:"mean"`
@@ -402,6 +404,7 @@ type LatencyStats struct {
 	P90      int     `json:"p90"`
 	P99      int     `json:"p99"`
 	Overflow int     `json:"overflow"`
+	Exact    bool    `json:"exact"`
 }
 
 // RollingRatio is the online competitive-ratio estimate: OPT and ALG summed
@@ -452,6 +455,7 @@ func (s *Server) metricsLocked() Metrics {
 			P90:      s.hist.Quantile(0.90),
 			P99:      s.hist.Quantile(0.99),
 			Overflow: s.hist.Overflow(),
+			Exact:    s.hist.Exact(),
 		}
 	}
 	s.ratMu.Lock()

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"reqsched/internal/core"
 	"reqsched/internal/offline"
@@ -164,6 +165,9 @@ func TestVirtualClockBitIdenticalToRun(t *testing.T) {
 	if m.Latency.Overflow != 0 {
 		t.Fatalf("latency histogram overflowed %d times with buckets sized to the window", m.Latency.Overflow)
 	}
+	if !m.Latency.Exact {
+		t.Fatal("latency stats not exact with buckets sized to the window")
+	}
 }
 
 // TestBackpressure429 pins the bounded-queue contract: once the arrival
@@ -185,6 +189,47 @@ func TestBackpressure429(t *testing.T) {
 	m := metrics(t, ts)
 	if m.QueueDepth != 3 || m.Rejected.QueueFull != 1 {
 		t.Fatalf("queue depth %d (want 3), queue_full rejections %d (want 1)", m.QueueDepth, m.Rejected.QueueFull)
+	}
+}
+
+// TestRetryAfterScalesWithBacklog pins the Retry-After estimate against the
+// actual drain time. A server with n resources serves at most n queued
+// records per round, so a full queue of depth q needs ceil(q/n) rounds to
+// clear; telling the client to come back after one round (the old behavior)
+// guarantees another 429 and a retry stampede exactly when the daemon is
+// most loaded.
+func TestRetryAfterScalesWithBacklog(t *testing.T) {
+	_, ts := newServer(t, serve.Config{
+		N: 2, D: 2, Virtual: true, RoundDur: time.Second, QueueCap: 100,
+	})
+	body := strings.Repeat(`{"alts":[0,1]}`+"\n", 101)
+	code, rep, hdr := post(t, ts, body)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", code)
+	}
+	if rep.Accepted != 100 {
+		t.Fatalf("accepted %d, want the queue capacity 100", rep.Accepted)
+	}
+	// 100 queued records at 2 per round: 50 rounds of 1s each.
+	if got := hdr.Get("Retry-After"); got != "50" {
+		t.Fatalf("Retry-After %q, want \"50\" (100 queued / 2 per round * 1s)", got)
+	}
+}
+
+// TestRetryAfterFloorsAtOneSecond: sub-second rounds and an empty queue must
+// still yield a positive, RFC-valid hint.
+func TestRetryAfterFloorsAtOneSecond(t *testing.T) {
+	_, ts := newServer(t, serve.Config{
+		N: 2, D: 2, Virtual: true, RoundDur: 100 * time.Millisecond, QueueCap: 1,
+	})
+	body := strings.Repeat(`{"alts":[0,1]}`+"\n", 2)
+	code, _, hdr := post(t, ts, body)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", code)
+	}
+	// 1 queued record drains in one 0.1s round; the hint rounds up to 1s.
+	if got := hdr.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After %q, want \"1\"", got)
 	}
 }
 

@@ -1,0 +1,103 @@
+package stats
+
+import "testing"
+
+// Regression tests for the clamped-tail bias: Mean and Quantile used to
+// average/rank overflow samples at the last bucket's value (size-1) and
+// underflow samples at 0, silently biasing latency means and p99 downward
+// exactly when the histogram overflows — the case where honesty matters
+// most. Clamped tails must be valued at their sentinels (-1 and Size()),
+// and Exact must report whether any clamping happened.
+
+func TestMeanCountsOverflowAtSentinel(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(1)
+	h.Add(10)
+	h.Add(10)
+	h.Add(10)
+	// Samples are 1 and three values at or beyond the range; the overflow
+	// tail counts at the >=size sentinel 4: (1 + 3*4) / 4. The biased
+	// version reports (1 + 3*3) / 4 = 2.5.
+	if got, want := h.Mean(), 3.25; got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if h.Exact() {
+		t.Error("Exact() true with a clamped tail")
+	}
+}
+
+func TestQuantileReportsOverflowSentinel(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(1)
+	h.Add(10)
+	h.Add(10)
+	h.Add(10)
+	// Rank order: 1, >=4, >=4, >=4. The median falls in the overflow tail,
+	// so the only honest answer is the >=size sentinel, not the last bucket.
+	if got, want := h.Quantile(0.5), 4; got != want {
+		t.Errorf("Quantile(0.5) = %d, want the sentinel %d", got, want)
+	}
+	if got, want := h.Quantile(0.25), 1; got != want {
+		t.Errorf("Quantile(0.25) = %d, want %d", got, want)
+	}
+	if got, want := h.Quantile(1), 4; got != want {
+		t.Errorf("Quantile(1) = %d, want the sentinel %d", got, want)
+	}
+}
+
+func TestMeanAndQuantileCountUnderflowAtSentinel(t *testing.T) {
+	h := NewHistogram(3)
+	h.Add(-5)
+	h.Add(2)
+	// The underflow sample counts at the <0 sentinel -1: (-1 + 2) / 2.
+	if got, want := h.Mean(), 0.5; got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if got, want := h.Quantile(0.5), -1; got != want {
+		t.Errorf("Quantile(0.5) = %d, want the sentinel %d", got, want)
+	}
+	if got, want := h.Quantile(1), 2; got != want {
+		t.Errorf("Quantile(1) = %d, want %d", got, want)
+	}
+	if h.Exact() {
+		t.Error("Exact() true with a clamped tail")
+	}
+}
+
+func TestExactHistogramMomentsUnchanged(t *testing.T) {
+	h := NewHistogram(5)
+	for _, v := range []int{0, 2, 2, 4} {
+		h.Add(v)
+	}
+	if !h.Exact() {
+		t.Error("Exact() false without clamping")
+	}
+	if got, want := h.Mean(), 2.0; got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if got, want := h.Quantile(0.5), 2; got != want {
+		t.Errorf("Quantile(0.5) = %d, want %d", got, want)
+	}
+	if got, want := h.Quantile(0), 0; got != want {
+		t.Errorf("Quantile(0) = %d, want %d", got, want)
+	}
+	if got, want := h.Quantile(1), 4; got != want {
+		t.Errorf("Quantile(1) = %d, want %d", got, want)
+	}
+}
+
+// A histogram whose real samples share the last bucket with an overflow
+// tail: ranks inside the genuine samples stay exact, only ranks in the tail
+// report the sentinel.
+func TestQuantileSplitsLastBucketFromOverflowTail(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(3)
+	h.Add(3)
+	h.Add(9)
+	if got, want := h.Quantile(0.5), 3; got != want {
+		t.Errorf("Quantile(0.5) = %d, want the genuine last-bucket value %d", got, want)
+	}
+	if got, want := h.Quantile(1), 4; got != want {
+		t.Errorf("Quantile(1) = %d, want the sentinel %d", got, want)
+	}
+}

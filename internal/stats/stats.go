@@ -115,8 +115,18 @@ func (h *Histogram) Overflow() int { return h.overflow }
 // Size returns the number of unit buckets.
 func (h *Histogram) Size() int { return len(h.buckets) }
 
-// Mean returns the mean of the bucketed samples (clamped values count at
-// their edge bucket). It is 0 with no samples.
+// Exact reports whether every sample landed inside [0, size): when false,
+// Mean and Quantile value the clamped tails at their sentinels (-1 below the
+// range, Size() at or above it) rather than pretending the edge buckets are
+// real observations.
+func (h *Histogram) Exact() bool { return h.underflow == 0 && h.overflow == 0 }
+
+// Mean returns the mean of the samples, valuing clamped tails at their
+// sentinels: a sample below the range counts as -1, a sample at or above it
+// as Size(). Averaging the tails at the edge buckets instead would bias the
+// mean toward the range exactly when the histogram saturates (the case a
+// latency report must not understate); with Exact() true this is the plain
+// bucket mean. It is 0 with no samples.
 func (h *Histogram) Mean() float64 {
 	if h.total == 0 {
 		return 0
@@ -125,11 +135,16 @@ func (h *Histogram) Mean() float64 {
 	for v, c := range h.buckets {
 		sum += v * c
 	}
+	// Underflow was clamped up to bucket 0 (sentinel -1: one below per
+	// sample); overflow down to bucket size-1 (sentinel size: one above).
+	sum += h.overflow - h.underflow
 	return float64(sum) / float64(h.total)
 }
 
-// Quantile returns the smallest bucket b such that at least q (0..1) of the
-// samples are <= b.
+// Quantile returns the smallest value v such that at least q (0..1) of the
+// samples are <= v. Ranks that fall in a clamped tail report the tail's
+// sentinel (-1 below the range, Size() at or above it) rather than the edge
+// bucket, so a saturated histogram cannot understate its upper quantiles.
 func (h *Histogram) Quantile(q float64) int {
 	if h.total == 0 {
 		return 0
@@ -140,6 +155,17 @@ func (h *Histogram) Quantile(q float64) int {
 		// sample), not bucket 0 unconditionally.
 		need = 1
 	}
+	if need <= h.underflow {
+		return -1
+	}
+	if need > h.total-h.overflow {
+		return len(h.buckets)
+	}
+	// In-range ranks: underflow samples sort before everything in bucket 0
+	// and overflow samples after everything in the last bucket, so the plain
+	// cumulative scan already lands on the right genuine bucket (the
+	// underflow inflation of the running count cancels against the underflow
+	// ranks it absorbs).
 	run := 0
 	for i, c := range h.buckets {
 		run += c

@@ -72,7 +72,7 @@ func TestHistogram(t *testing.T) {
 	if h.Quantile(0.5) != 1 {
 		t.Fatalf("median bucket %d", h.Quantile(0.5))
 	}
-	if h.Quantile(1.0) != 4 {
+	if h.Quantile(1.0) != 5 { // the clamped 9 reports the >=size sentinel
 		t.Fatalf("max bucket %d", h.Quantile(1.0))
 	}
 	if h.Bars(10) == "" {
@@ -104,8 +104,16 @@ func TestHistogramZeroSize(t *testing.T) {
 		if h.Total() != 3 || h.Count(0) != 3 {
 			t.Fatalf("size %d: total %d, bucket 0 %d", size, h.Total(), h.Count(0))
 		}
-		if h.Quantile(1.0) != 0 {
-			t.Fatalf("size %d: quantile %d", size, h.Quantile(1.0))
+		// The samples 7 and -1 clamp into the single bucket, so the extreme
+		// quantiles report the sentinels, not bucket 0.
+		if h.Quantile(1.0) != 1 {
+			t.Fatalf("size %d: quantile(1) %d, want the overflow sentinel 1", size, h.Quantile(1.0))
+		}
+		if h.Quantile(0) != -1 {
+			t.Fatalf("size %d: quantile(0) %d, want the underflow sentinel -1", size, h.Quantile(0))
+		}
+		if h.Quantile(0.5) != 0 {
+			t.Fatalf("size %d: quantile(0.5) %d, want 0", size, h.Quantile(0.5))
 		}
 	}
 }

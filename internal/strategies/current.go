@@ -22,15 +22,20 @@ func (*Current) Begin(n, d int) {}
 
 // Round implements core.Strategy.
 func (s *Current) Round(ctx *core.RoundContext) {
-	// A_current never pre-assigns, so every pending request is unassigned.
-	reqs := ctx.Pending
-	wg := buildCurrentRoundGraph(&s.sc, ctx.W, reqs)
-	m := s.sc.emptyMatching()
-	order := s.sc.identOrder(len(reqs))
-	// Maximum matching with requests considered in ID order: older requests
-	// (lower IDs) are matched first — the implementation the Theorem 2.2
-	// adversary steers group by group.
-	s.sc.ms.ExtendFromLeft(wg.g, m, order)
+	routeCurrent(ctx, ctx.Pending, &s.sc)
+}
+
+// routeCurrent is the A_current round body over an arbitrary queue: the
+// composable router form. A_current never pre-assigns, so every queued
+// request is unassigned.
+func routeCurrent(ctx *core.RoundContext, queue []*core.Request, sc *roundScratch) {
+	wg := buildCurrentRoundGraph(sc, ctx.W, queue)
+	m := sc.emptyMatching()
+	order := sc.identOrder(len(queue))
+	// Maximum matching with requests considered in queue order — ID order in
+	// the fused strategy, so older requests (lower IDs) are matched first:
+	// the implementation the Theorem 2.2 adversary steers group by group.
+	sc.ms.ExtendFromLeft(wg.g, m, order)
 	wg.apply(ctx.W, m)
 }
 

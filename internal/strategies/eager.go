@@ -32,7 +32,7 @@ func (*Eager) Begin(n, d int) {}
 
 // Round implements core.Strategy.
 func (s *Eager) Round(ctx *core.RoundContext) {
-	rescheduleRound(ctx, 2, &s.sc)
+	routeReschedule(ctx, ctx.Pending, 2, &s.sc)
 }
 
 // Balance implements A_balance: like A_eager it recomputes over the whole
@@ -56,16 +56,19 @@ func (*Balance) Begin(n, d int) {}
 
 // Round implements core.Strategy.
 func (s *Balance) Round(ctx *core.RoundContext) {
-	rescheduleRound(ctx, 0, &s.sc)
+	routeReschedule(ctx, ctx.Pending, 0, &s.sc)
 }
 
-// rescheduleRound is the shared A_eager / A_balance round body. maxClasses
-// caps the slot weight classes: 2 for A_eager (current round vs later), 0 for
-// A_balance (0 means "one class per window round": full lexicographic F).
-// All graph, matching and snapshot storage comes from sc and is reused
-// across rounds.
-func rescheduleRound(ctx *core.RoundContext, maxClasses int, sc *roundScratch) {
-	reqs := ctx.Pending
+// routeReschedule is the shared A_eager / A_balance round body over an
+// arbitrary queue: the composable router form. maxClasses caps the slot
+// weight classes: 2 for A_eager (current round vs later), 0 for A_balance
+// (0 means "one class per window round": full lexicographic F). All graph,
+// matching and snapshot storage comes from sc and is reused across rounds.
+// The queue order becomes the left-vertex order of the matching graph, so it
+// steers both the augmenting searches and the PreferLowAtClass exchange
+// (which requests are served in the current round).
+func routeReschedule(ctx *core.RoundContext, queue []*core.Request, maxClasses int, sc *roundScratch) {
+	reqs := queue
 	sc.snap = ctx.W.AppendAssignments(sc.snap[:0])
 	ctx.W.Reset()
 	wg := sc.buildGraph(ctx.W, reqs, false)

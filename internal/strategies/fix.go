@@ -24,25 +24,40 @@ func (*Fix) Begin(n, d int) {}
 
 // Round implements core.Strategy.
 func (s *Fix) Round(ctx *core.RoundContext) {
+	routeFix(ctx, ctx.Pending, &s.sc)
+}
+
+// routeFix is the A_fix round body over an arbitrary queue: the composable
+// router form. Arrivals are identified by arrival round rather than taken
+// from ctx.Arrivals so that a composed admission axis can filter and an
+// order axis reorder the queue; on queue == ctx.Pending this is exactly the
+// fused A_fix round.
+func routeFix(ctx *core.RoundContext, queue []*core.Request, sc *roundScratch) {
 	// Candidates: this round's arrivals first (their count is maximized),
 	// then any older unassigned requests (for maximality of the matching on
 	// G_t; with no rescheduling their slots can normally never free up, but
 	// the rule costs nothing and keeps the matching maximal by construction).
-	reqs := append(s.sc.reqs[:0], ctx.Arrivals...)
-	for _, r := range ctx.Pending {
+	reqs := sc.reqs[:0]
+	for _, r := range queue {
+		if r.Arrive == ctx.T {
+			reqs = append(reqs, r)
+		}
+	}
+	narr := len(reqs)
+	for _, r := range queue {
 		if r.Arrive < ctx.T && !ctx.W.Assigned(r) {
 			reqs = append(reqs, r)
 		}
 	}
-	s.sc.reqs = reqs
-	wg := s.sc.buildGraph(ctx.W, reqs, true)
-	m := s.sc.emptyMatching()
-	order := s.sc.identOrder(len(reqs))
-	// Augmenting in ID order with first-listed-alternative preference: the
+	sc.reqs = reqs
+	wg := sc.buildGraph(ctx.W, reqs, true)
+	m := sc.emptyMatching()
+	order := sc.identOrder(len(reqs))
+	// Augmenting in queue order with first-listed-alternative preference: the
 	// deterministic member of the A_fix class. Arrivals come first in reqs,
 	// so their matching is maximum before older requests are considered.
-	s.sc.ms.ExtendFromLeft(wg.g, m, order[:len(ctx.Arrivals)])
-	s.sc.ms.ExtendFromLeft(wg.g, m, order[len(ctx.Arrivals):])
+	sc.ms.ExtendFromLeft(wg.g, m, order[:narr])
+	sc.ms.ExtendFromLeft(wg.g, m, order[narr:])
 	wg.apply(ctx.W, m)
 }
 
@@ -67,23 +82,29 @@ func (*FixBalance) Begin(n, d int) {}
 
 // Round implements core.Strategy.
 func (s *FixBalance) Round(ctx *core.RoundContext) {
-	reqs := s.sc.reqs[:0]
-	for _, r := range ctx.Pending {
+	routeFixBalance(ctx, ctx.Pending, &s.sc)
+}
+
+// routeFixBalance is the A_fix_balance round body over an arbitrary queue:
+// the composable router form.
+func routeFixBalance(ctx *core.RoundContext, queue []*core.Request, sc *roundScratch) {
+	reqs := sc.reqs[:0]
+	for _, r := range queue {
 		if !ctx.W.Assigned(r) {
 			reqs = append(reqs, r)
 		}
 	}
-	s.sc.reqs = reqs
-	wg := s.sc.buildGraph(ctx.W, reqs, true)
+	sc.reqs = reqs
+	wg := sc.buildGraph(ctx.W, reqs, true)
 	// The F-maximal extension over the free slots: matched slot sets form a
 	// transversal matroid, so processing slots in ascending round order with
 	// one augmenting search each yields the weight-greedy basis — maximum
 	// cardinality with lexicographically maximal (X_t, ..., X_{t+d-1}).
-	classOf := s.sc.roundClasses(wg.depth)
-	m := s.sc.emptyMatching()
-	s.sc.ms.LexMaxExtend(wg.g, m, classOf)
+	classOf := sc.roundClasses(wg.depth)
+	m := sc.emptyMatching()
+	sc.ms.LexMaxExtend(wg.g, m, classOf)
 	// Serve the oldest requests in the current round (see eager.go); this is
 	// the member Theorem 2.4's d=2 bound for A_fix_balance reasons about.
-	s.sc.ms.PreferLowAtClass(wg.g, m, classOf, 0)
+	sc.ms.PreferLowAtClass(wg.g, m, classOf, 0)
 	wg.apply(ctx.W, m)
 }

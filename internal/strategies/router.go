@@ -1,0 +1,103 @@
+package strategies
+
+import "reqsched/internal/core"
+
+// The paper strategies' resource-assignment bodies exposed as composable
+// policy routers (they satisfy policy.Router structurally; this package does
+// not import internal/policy). Each router shares its round body with the
+// fused strategy — routeFix, routeCurrent, routeFixBalance, routeReschedule
+// — so compose(router=X, order=fcfs, admit=always, prio=constant) is
+// byte-identical to the fused form, a property the equivalence tests and
+// cmd/verify pin. Like strategy instances, routers carry per-instance
+// scratch and are not safe for concurrent use.
+
+// FixRouter is the A_fix round body as a router: keep all previous
+// assignments, match this round's arrivals maximally into the free slots.
+type FixRouter struct{ sc roundScratch }
+
+// NewFixRouter returns the fix router.
+func NewFixRouter() *FixRouter { return &FixRouter{} }
+
+// Name implements policy.Router.
+func (*FixRouter) Name() string { return "fix" }
+
+// Begin implements policy.Router.
+func (*FixRouter) Begin(n, d int) {}
+
+// Route implements policy.Router.
+func (r *FixRouter) Route(ctx *core.RoundContext, queue []*core.Request) {
+	routeFix(ctx, queue, &r.sc)
+}
+
+// CurrentRouter is the A_current round body as a router: maximum matching
+// into the current round's slots only, no forward planning.
+type CurrentRouter struct{ sc roundScratch }
+
+// NewCurrentRouter returns the current router.
+func NewCurrentRouter() *CurrentRouter { return &CurrentRouter{} }
+
+// Name implements policy.Router.
+func (*CurrentRouter) Name() string { return "current" }
+
+// Begin implements policy.Router.
+func (*CurrentRouter) Begin(n, d int) {}
+
+// Route implements policy.Router.
+func (r *CurrentRouter) Route(ctx *core.RoundContext, queue []*core.Request) {
+	routeCurrent(ctx, queue, &r.sc)
+}
+
+// FixBalanceRouter is the A_fix_balance round body as a router: no
+// rescheduling, F-maximal extension over the free slots.
+type FixBalanceRouter struct{ sc roundScratch }
+
+// NewFixBalanceRouter returns the fix_balance router.
+func NewFixBalanceRouter() *FixBalanceRouter { return &FixBalanceRouter{} }
+
+// Name implements policy.Router.
+func (*FixBalanceRouter) Name() string { return "fix_balance" }
+
+// Begin implements policy.Router.
+func (*FixBalanceRouter) Begin(n, d int) {}
+
+// Route implements policy.Router.
+func (r *FixBalanceRouter) Route(ctx *core.RoundContext, queue []*core.Request) {
+	routeFixBalance(ctx, queue, &r.sc)
+}
+
+// EagerRouter is the A_eager round body as a router: recompute a maximum
+// matching maximizing current-round service, keeping scheduled requests
+// scheduled.
+type EagerRouter struct{ sc roundScratch }
+
+// NewEagerRouter returns the eager router.
+func NewEagerRouter() *EagerRouter { return &EagerRouter{} }
+
+// Name implements policy.Router.
+func (*EagerRouter) Name() string { return "eager" }
+
+// Begin implements policy.Router.
+func (*EagerRouter) Begin(n, d int) {}
+
+// Route implements policy.Router.
+func (r *EagerRouter) Route(ctx *core.RoundContext, queue []*core.Request) {
+	routeReschedule(ctx, queue, 2, &r.sc)
+}
+
+// BalanceRouter is the A_balance round body as a router: recompute the
+// F-maximal maximum matching, keeping scheduled requests scheduled.
+type BalanceRouter struct{ sc roundScratch }
+
+// NewBalanceRouter returns the balance router.
+func NewBalanceRouter() *BalanceRouter { return &BalanceRouter{} }
+
+// Name implements policy.Router.
+func (*BalanceRouter) Name() string { return "balance" }
+
+// Begin implements policy.Router.
+func (*BalanceRouter) Begin(n, d int) {}
+
+// Route implements policy.Router.
+func (r *BalanceRouter) Route(ctx *core.RoundContext, queue []*core.Request) {
+	routeReschedule(ctx, queue, 0, &r.sc)
+}

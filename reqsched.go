@@ -264,10 +264,12 @@ func Strategies() map[string]Strategy {
 // GlobalStrategies returns the five Table 1 strategies in row order.
 func GlobalStrategies() []Strategy { return strategies.Global() }
 
-// StrategyByName returns a fresh strategy by registry name (parameterless
-// construction), or nil.
-func StrategyByName(name string) Strategy {
-	s, err := registry.NewStrategy(name, nil)
+// StrategyByName returns a fresh strategy by registry spec — a name,
+// optionally followed by ",key=value" parameters, e.g. "A_balance" or
+// "compose,router=greedy,order=sjf" — or nil for unknown names or invalid
+// parameters.
+func StrategyByName(spec string) Strategy {
+	s, err := registry.NewStrategySpec(spec)
 	if err != nil {
 		return nil
 	}

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"runtime"
 
 	"reqsched/internal/registry"
 )
@@ -34,6 +35,17 @@ const (
 )
 
 func workersFlag(fs *flag.FlagSet) *int  { return fs.Int("workers", 0, workersUsage) }
+
+// resolveWorkers maps the shared -workers convention to the concrete pool
+// size: any value <= 0 resolves to runtime.GOMAXPROCS(0). Every binary
+// resolves through here, so "-workers 0" means the same thing everywhere and
+// -describe can report the value the pools will actually use.
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
 func seedFlag(fs *flag.FlagSet) *int64   { return fs.Int64("seed", 1, seedUsage) }
 func nFlag(fs *flag.FlagSet) *int        { return fs.Int("n", 8, nUsage) }
 func dFlag(fs *flag.FlagSet) *int        { return fs.Int("d", 4, dUsage) }
@@ -79,8 +91,10 @@ func listingFlags(fs *flag.FlagSet) (list *bool, describe *string) {
 }
 
 // listing handles -list/-describe against the registry. It returns whether
-// the request was one of the two (the caller returns the code then).
-func listing(list bool, describe string, stdout, stderr io.Writer) (bool, int) {
+// the request was one of the two (the caller returns the code then). workers
+// is the binary's resolved -workers value, reported under -describe so the
+// effective pool size (GOMAXPROCS when the flag is unset) is visible.
+func listing(list bool, describe string, workers int, stdout, stderr io.Writer) (bool, int) {
 	if describe != "" {
 		c, ok := registry.Find(describe)
 		if !ok {
@@ -88,6 +102,7 @@ func listing(list bool, describe string, stdout, stderr io.Writer) (bool, int) {
 			return true, 2
 		}
 		fmt.Fprint(stdout, c.Describe())
+		fmt.Fprintf(stdout, "\nworkers: %d (shared -workers flag; <= 0 resolves to GOMAXPROCS)\n", workers)
 		return true, 0
 	}
 	if list {

@@ -1,16 +1,20 @@
 package app
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"testing"
 	"time"
 
 	"reqsched"
+	"reqsched/internal/serve"
 )
 
 // benchEntry is one strategy's measured baseline.
@@ -87,6 +91,68 @@ type benchWeighted struct {
 	MinLatencyEntries      []benchOfflineEntry `json:"min_latency_entries"`
 }
 
+// benchWorkload describes the gapped bursty trace the offline-style sections
+// run on (bursts of `on` rounds at `burst_rate`, then `off` silent rounds, so
+// every burst is an independent segment).
+type benchWorkload struct {
+	N         int     `json:"n"`
+	D         int     `json:"d"`
+	Rounds    int     `json:"rounds"`
+	On        int     `json:"on"`
+	Off       int     `json:"off"`
+	BurstRate float64 `json:"burst_rate"`
+	Seed      int64   `json:"seed"`
+	Requests  int     `json:"requests"`
+}
+
+// benchIncremental records the incremental rolling optimum (one maintained
+// matching, one augmenting-path search per request, scratch reused across
+// segment seals) against the cold path the serve daemon used to run: a fresh
+// graph and Hopcroft–Karp solve per materialized segment sub-trace. One op is
+// a full pass over the trace; the alloc reduction is the headline — the
+// incremental path never rebuilds the graph.
+type benchIncremental struct {
+	// TargetRequests reproduces the section: the -incremental-requests value.
+	TargetRequests int           `json:"target_requests"`
+	Workload       benchWorkload `json:"workload"`
+	Segments       int           `json:"segments"`
+	Optimum        int           `json:"optimum"`
+	GOMAXPROCS     int           `json:"gomaxprocs"`
+	// Cold: offline.Optimum on each pre-materialized segment sub-trace.
+	ColdNsPerOp     float64 `json:"cold_ns_per_op"`
+	ColdAllocsPerOp int64   `json:"cold_allocs_per_op"`
+	ColdBytesPerOp  int64   `json:"cold_bytes_per_op"`
+	// Incremental: OptimumIncremental over the whole trace.
+	NsPerOp        float64 `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	SpeedupVsCold  float64 `json:"speedup_vs_cold"`
+	AllocReduction float64 `json:"alloc_reduction_vs_cold"`
+}
+
+// benchServeEntry is one serve-daemon configuration's measured ingest rate:
+// a full session — HTTP ingest of the whole JSONL stream, engine stepping
+// under the virtual clock, rolling-optimum worker, drain — per op.
+type benchServeEntry struct {
+	Mode           string  `json:"mode"`
+	IngestBatch    int     `json:"ingest_batch"`
+	RollingBatch   bool    `json:"rolling_batch"`
+	NsPerRequest   float64 `json:"ns_per_request"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+}
+
+// benchServeIngest records end-to-end daemon ingest throughput, legacy shape
+// (record-at-a-time admission locking, whole-segment rolling solves) against
+// the batched + incremental default.
+type benchServeIngest struct {
+	TargetRequests  int               `json:"target_requests"`
+	Workload        benchWorkload     `json:"workload"`
+	Segments        int               `json:"segments"`
+	GOMAXPROCS      int               `json:"gomaxprocs"`
+	Entries         []benchServeEntry `json:"entries"`
+	SpeedupVsLegacy float64           `json:"speedup_vs_legacy"`
+}
+
 // benchBaseline is the file format of BENCH_engine.json.
 type benchBaseline struct {
 	Workload struct {
@@ -97,9 +163,11 @@ type benchBaseline struct {
 		Seed     int64   `json:"seed"`
 		Requests int     `json:"requests"`
 	} `json:"workload"`
-	Entries  []benchEntry   `json:"entries"`
-	Offline  *benchOffline  `json:"offline,omitempty"`
-	Weighted *benchWeighted `json:"weighted,omitempty"`
+	Entries     []benchEntry      `json:"entries"`
+	Offline     *benchOffline     `json:"offline,omitempty"`
+	Weighted    *benchWeighted    `json:"weighted,omitempty"`
+	Incremental *benchIncremental `json:"incremental_opt,omitempty"`
+	ServeIngest *benchServeIngest `json:"serve_ingest,omitempty"`
 }
 
 // timeIt returns the fastest of reps timed runs of f in nanoseconds.
@@ -161,6 +229,182 @@ func runBenchOffline(requests int, stderr io.Writer) (*benchOffline, error) {
 			workers, ns, o.MonolithicNs/ns)
 	}
 	return &o, nil
+}
+
+// benchBurstyTrace builds the gapped bursty trace the incremental and serve
+// sections run on (same shape as runBenchOffline), sized to roughly
+// `requests` requests.
+func benchBurstyTrace(requests int) (*reqsched.Trace, benchWorkload) {
+	const (
+		n, d      = 16, 4
+		on, off   = 4, 8
+		burstRate = 50.0
+		seed      = 5
+	)
+	rounds := requests * (on + off) / (on * int(burstRate))
+	cfg := reqsched.WorkloadConfig{N: n, D: d, Rounds: rounds, Rate: 0, Seed: seed}
+	tr := reqsched.Bursty(cfg, on, off, burstRate)
+	return tr, benchWorkload{
+		N: n, D: d, Rounds: rounds, On: on, Off: off,
+		BurstRate: burstRate, Seed: seed, Requests: tr.NumRequests(),
+	}
+}
+
+// runBenchIncremental measures the incremental rolling optimum against cold
+// per-segment solves on a multi-segment trace of roughly `requests` requests.
+func runBenchIncremental(requests int, stderr io.Writer) (*benchIncremental, error) {
+	tr, wl := benchBurstyTrace(requests)
+
+	o := &benchIncremental{TargetRequests: requests, Workload: wl}
+	o.Segments = reqsched.TraceSegmentCount(tr)
+	o.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	// Pre-materialize the segment sub-traces so the cold timing is the solve
+	// alone — exactly the work the serve daemon's rolling worker used to do
+	// per closed segment — not the cutting.
+	var buf bytes.Buffer
+	if err := reqsched.WriteTraceStream(&buf, tr); err != nil {
+		return nil, err
+	}
+	var segs []*reqsched.Trace
+	for sub, err := range reqsched.TraceSegments(bytes.NewReader(buf.Bytes())) {
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, sub)
+	}
+
+	want := reqsched.Optimum(tr)
+	o.Optimum = want
+
+	cold := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sum := 0
+			for _, sub := range segs {
+				sum += reqsched.Optimum(sub)
+			}
+			if sum != want {
+				b.Fatalf("cold segment sum %d, Optimum %d", sum, want)
+			}
+		}
+	})
+	o.ColdNsPerOp = float64(cold.T.Nanoseconds()) / float64(cold.N)
+	o.ColdAllocsPerOp = cold.AllocsPerOp()
+	o.ColdBytesPerOp = cold.AllocedBytesPerOp()
+
+	inc := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := reqsched.OptimumIncremental(tr); got != want {
+				b.Fatalf("OptimumIncremental %d, Optimum %d", got, want)
+			}
+		}
+	})
+	o.NsPerOp = float64(inc.T.Nanoseconds()) / float64(inc.N)
+	o.AllocsPerOp = inc.AllocsPerOp()
+	o.BytesPerOp = inc.AllocedBytesPerOp()
+	if o.NsPerOp > 0 {
+		o.SpeedupVsCold = o.ColdNsPerOp / o.NsPerOp
+	}
+	if o.AllocsPerOp > 0 {
+		o.AllocReduction = float64(o.ColdAllocsPerOp) / float64(o.AllocsPerOp)
+	}
+	fmt.Fprintf(stderr, "incremental cold %14.0f ns/op %8d allocs/op\n", o.ColdNsPerOp, o.ColdAllocsPerOp)
+	fmt.Fprintf(stderr, "incremental inc  %14.0f ns/op %8d allocs/op  speedup %.2fx  allocs %.1fx fewer\n",
+		o.NsPerOp, o.AllocsPerOp, o.SpeedupVsCold, o.AllocReduction)
+	return o, nil
+}
+
+// serveIngestModes are the two daemon shapes the serve section compares. The
+// legacy shape is the pre-sharding daemon: one admission lock acquisition per
+// record and whole-segment rolling solves.
+var serveIngestModes = []struct {
+	mode         string
+	ingestBatch  int
+	rollingBatch bool
+}{
+	{"legacy", 1, true},
+	{"batched_incremental", 0, false},
+}
+
+// runBenchServeIngest measures end-to-end daemon throughput: the bursty JSONL
+// stream POSTed to a virtual-clock serve.Server, drain included, so decode,
+// admission, engine stepping and the rolling-optimum worker all count.
+func runBenchServeIngest(requests int, stderr io.Writer) (*benchServeIngest, error) {
+	tr, wl := benchBurstyTrace(requests)
+	o := &benchServeIngest{TargetRequests: requests, Workload: wl}
+	o.Segments = reqsched.TraceSegmentCount(tr)
+	o.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	var buf bytes.Buffer
+	if err := reqsched.WriteTraceStream(&buf, tr); err != nil {
+		return nil, err
+	}
+	body := buf.Bytes()
+
+	var rolling *serve.RollingRatio // cross-checked across modes
+	for _, m := range serveIngestModes {
+		var mrolling serve.RollingRatio
+		session := func() error {
+			// A_fix is the cheapest engine strategy, so the session time is
+			// dominated by the machinery under test — decode, admission,
+			// rolling optimum — not by strategy bookkeeping.
+			s, err := serve.New(serve.Config{
+				N: tr.N, D: tr.D,
+				Strategy: reqsched.NewAFix(), StrategyName: "A_fix",
+				Virtual:      true,
+				QueueCap:     1 << 20,
+				IngestBatch:  m.ingestBatch,
+				RollingBatch: m.rollingBatch,
+			})
+			if err != nil {
+				return err
+			}
+			rw := httptest.NewRecorder()
+			s.ServeHTTP(rw, httptest.NewRequest(http.MethodPost, "/v1/requests", bytes.NewReader(body)))
+			if rw.Code != http.StatusOK {
+				return fmt.Errorf("serve ingest (%s): status %d: %s", m.mode, rw.Code, rw.Body.String())
+			}
+			met := s.Drain()
+			if met.Requests != tr.NumRequests() {
+				return fmt.Errorf("serve ingest (%s): admitted %d of %d", m.mode, met.Requests, tr.NumRequests())
+			}
+			mrolling = met.Rolling
+			return nil
+		}
+		var serr error
+		ns := timeIt(3, func() {
+			if err := session(); err != nil && serr == nil {
+				serr = err
+			}
+		})
+		if serr != nil {
+			return nil, serr
+		}
+		if rolling == nil {
+			r := mrolling
+			rolling = &r
+		} else if *rolling != mrolling {
+			return nil, fmt.Errorf("BUG: serve ingest rolling totals differ: %s %+v vs %+v",
+				m.mode, mrolling, *rolling)
+		}
+		perReq := ns / float64(tr.NumRequests())
+		o.Entries = append(o.Entries, benchServeEntry{
+			Mode:           m.mode,
+			IngestBatch:    m.ingestBatch,
+			RollingBatch:   m.rollingBatch,
+			NsPerRequest:   perReq,
+			RequestsPerSec: 1e9 / perReq,
+		})
+		fmt.Fprintf(stderr, "serve ingest %-20s %8.0f ns/request  %12.0f requests/s\n",
+			m.mode, perReq, 1e9/perReq)
+	}
+	if len(o.Entries) == 2 && o.Entries[1].NsPerRequest > 0 {
+		o.SpeedupVsLegacy = o.Entries[0].NsPerRequest / o.Entries[1].NsPerRequest
+		fmt.Fprintf(stderr, "serve ingest speedup %.2fx\n", o.SpeedupVsLegacy)
+	}
+	return o, nil
 }
 
 // benchWeightedWorkload builds the gapped bursty weighted trace the
@@ -266,12 +510,20 @@ func BenchMain(args []string, stdout, stderr io.Writer) int {
 	benchtime := fs.Duration("benchtime", 0, "per-strategy benchmark time (default testing's 1s)")
 	offlineReqs := fs.Int("offline-requests", 1_000_000, "request count for the segmented-optimum benchmark (0 skips it)")
 	weightedReqs := fs.Int("weighted-requests", 100_000, "request count for the weighted-optima benchmark (0 skips it; the monolithic reference is superlinear — ~40 min at the default size)")
+	incReqs := fs.Int("incremental-requests", 200_000, "request count for the incremental-optimum benchmark (0 skips it)")
+	serveReqs := fs.Int("serve-requests", 50_000, "request count for the serve-ingest benchmark (0 skips it)")
+	regressFile := fs.String("check-regress", "", "baseline BENCH_engine.json: rerun the incremental_opt and serve_ingest sections at the baseline's sizes and fail if ns/op regresses past -regress-tolerance (skips everything else)")
+	regressTol := fs.Float64("regress-tolerance", 0.25, "allowed fractional ns/op regression in -check-regress mode")
+	workers := workersFlag(fs)
 	list, describe := listingFlags(fs)
 	if ok, code := parse(fs, args); !ok {
 		return code
 	}
-	if handled, code := listing(*list, *describe, stdout, stderr); handled {
+	if handled, code := listing(*list, *describe, resolveWorkers(*workers), stdout, stderr); handled {
 		return code
+	}
+	if *regressFile != "" {
+		return benchCheckRegress(*regressFile, *regressTol, stdout, stderr)
 	}
 	if *benchtime > 0 {
 		// testing.Benchmark honours the -test.benchtime flag.
@@ -339,6 +591,22 @@ func BenchMain(args []string, stdout, stderr io.Writer) int {
 		}
 		base.Weighted = wt
 	}
+	if *incReqs > 0 {
+		inc, err := runBenchIncremental(*incReqs, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		base.Incremental = inc
+	}
+	if *serveReqs > 0 {
+		si, err := runBenchServeIngest(*serveReqs, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		base.ServeIngest = si
+	}
 
 	w := io.Writer(stdout)
 	if *out != "" {
@@ -354,6 +622,70 @@ func BenchMain(args []string, stdout, stderr io.Writer) int {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(&base); err != nil {
 		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	return 0
+}
+
+// benchCheckRegress is the CI benchmark-regression guard: it reruns the cheap
+// incremental_opt and serve_ingest sections at the sizes recorded in the
+// checked-in baseline and fails if any ns/op metric regressed past tol
+// (fractional — 0.25 allows +25%). Getting faster never fails; the strategy,
+// offline and weighted sections are too slow for a CI gate and are skipped.
+func benchCheckRegress(path string, tol float64, stdout, stderr io.Writer) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(stderr, "parse %s: %v\n", path, err)
+		return 1
+	}
+	if base.Incremental == nil && base.ServeIngest == nil {
+		fmt.Fprintf(stderr, "%s has no incremental_opt or serve_ingest section to check\n", path)
+		return 1
+	}
+	failed := false
+	check := func(name string, baseline, got float64) {
+		limit := baseline * (1 + tol)
+		ok := got <= limit
+		verdict := "ok"
+		if !ok {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		fmt.Fprintf(stdout, "%-34s baseline %12.0f ns  now %12.0f ns  (limit %12.0f)  %s\n",
+			name, baseline, got, limit, verdict)
+	}
+	if base.Incremental != nil {
+		got, err := runBenchIncremental(base.Incremental.TargetRequests, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		check("incremental_opt.ns_per_op", base.Incremental.NsPerOp, got.NsPerOp)
+		check("incremental_opt.cold_ns_per_op", base.Incremental.ColdNsPerOp, got.ColdNsPerOp)
+	}
+	if base.ServeIngest != nil {
+		got, err := runBenchServeIngest(base.ServeIngest.TargetRequests, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		want := make(map[string]float64, len(base.ServeIngest.Entries))
+		for _, e := range base.ServeIngest.Entries {
+			want[e.Mode] = e.NsPerRequest
+		}
+		for _, e := range got.Entries {
+			if baseline, ok := want[e.Mode]; ok {
+				check("serve_ingest."+e.Mode+".ns_per_request", baseline, e.NsPerRequest)
+			}
+		}
+	}
+	if failed {
+		fmt.Fprintln(stderr, "bench: performance regression past tolerance; rerun on a quiet machine or regenerate the baseline with cmd/bench -out")
 		return 1
 	}
 	return 0

@@ -36,11 +36,12 @@ func gridworkerRun(stderr io.Writer, hb time.Duration) int {
 func GridworkerMain(args []string, stdout, stderr io.Writer) int {
 	fs := newFlagSet("gridworker", stderr)
 	hb := fs.Duration("hb", 2*time.Second, "heartbeat interval while a job is running")
+	workers := workersFlag(fs)
 	list, describe := listingFlags(fs)
 	if ok, code := parse(fs, args); !ok {
 		return code
 	}
-	if handled, code := listing(*list, *describe, stdout, stderr); handled {
+	if handled, code := listing(*list, *describe, resolveWorkers(*workers), stdout, stderr); handled {
 		return code
 	}
 	return gridworkerRun(stderr, *hb)

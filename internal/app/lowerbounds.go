@@ -17,11 +17,12 @@ import (
 func LowerboundsMain(args []string, stdout, stderr io.Writer) int {
 	fs := newFlagSet("lowerbounds", stderr)
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	workers := workersFlag(fs)
 	list, describe := listingFlags(fs)
 	if ok, code := parse(fs, args); !ok {
 		return code
 	}
-	if handled, code := listing(*list, *describe, stdout, stderr); handled {
+	if handled, code := listing(*list, *describe, resolveWorkers(*workers), stdout, stderr); handled {
 		return code
 	}
 

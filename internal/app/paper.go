@@ -28,7 +28,7 @@ func PaperMain(args []string, stdout, stderr io.Writer) int {
 	if ok, code := parse(fs, args); !ok {
 		return code
 	}
-	if handled, code := listing(*list, *describe, stdout, stderr); handled {
+	if handled, code := listing(*list, *describe, resolveWorkers(*workers), stdout, stderr); handled {
 		return code
 	}
 
@@ -39,7 +39,7 @@ func PaperMain(args []string, stdout, stderr io.Writer) int {
 	if *full {
 		cfg = table.Config{Phases: 200, Groups: 64}
 	}
-	w := *workers
+	w := resolveWorkers(*workers)
 
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "paper:", err)

@@ -70,7 +70,7 @@ func SchedsimMain(args []string, stdout, stderr io.Writer) int {
 	if ok, code := parse(fs, args); !ok {
 		return code
 	}
-	if handled, code := listing(*list, *describe, stdout, stderr); handled {
+	if handled, code := listing(*list, *describe, resolveWorkers(*workers), stdout, stderr); handled {
 		return code
 	}
 
@@ -86,8 +86,8 @@ func SchedsimMain(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		if *workers != 0 {
-			suite.Workers = *workers
+		if *workers != 0 { // unset defers to the suite file's own setting
+			suite.Workers = resolveWorkers(*workers)
 		}
 		rep, err := suite.Run()
 		if err != nil {
@@ -143,7 +143,7 @@ func SchedsimMain(args []string, stdout, stderr io.Writer) int {
 			name := name
 			sum, err := reqsched.SummarizeParallel(
 				func() reqsched.Strategy { return reqsched.StrategyByName(name) },
-				gen, *seeds, *workers)
+				gen, *seeds, resolveWorkers(*workers))
 			if err != nil {
 				fmt.Fprintln(stderr, err)
 				return 1
@@ -173,7 +173,7 @@ func SchedsimMain(args []string, stdout, stderr io.Writer) int {
 	}
 
 	fmt.Fprintf(stdout, "workload %s: %s\n", *wl, reqsched.SummarizeTrace(tr))
-	opt := reqsched.OptimumParallel(tr, *workers)
+	opt := reqsched.OptimumParallel(tr, resolveWorkers(*workers))
 	fmt.Fprintf(stdout, "offline optimum: %d of %d requests (%d segments)\n\n",
 		opt, tr.NumRequests(), reqsched.TraceSegmentCount(tr))
 

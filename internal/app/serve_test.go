@@ -90,6 +90,68 @@ func TestServeMainLifecycle(t *testing.T) {
 	}
 }
 
+// TestServeMainPprof boots the daemon with -pprof on an ephemeral port and
+// checks the profiler answers on its own listener — and only when asked for.
+func TestServeMainPprof(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out, errb syncBuf
+	exit := make(chan int, 1)
+	go func() {
+		exit <- serveMain(ctx, []string{
+			"-addr", "127.0.0.1:0", "-virtual-clock", "-n", "2", "-d", "2",
+			"-pprof", "127.0.0.1:0",
+		}, &out, &errb)
+	}()
+
+	pprofRE := regexp.MustCompile(`pprof on http://(\S+)/debug/pprof/`)
+	var addr string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); time.Sleep(5 * time.Millisecond) {
+		if m := pprofRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("daemon never reported the pprof address; stdout: %s", out.String())
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+
+	// The daemon's own handler must not expose the profiler.
+	mainRE := regexp.MustCompile(`listening on (\S+)`)
+	m := mainRE.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no daemon address in output: %s", out.String())
+	}
+	resp, err = http.Get(fmt.Sprintf("http://%s/debug/pprof/", m[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("daemon handler exposes /debug/pprof/ without -pprof routing")
+	}
+
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit %d; stderr: %s", code, errb.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after cancellation")
+	}
+}
+
 // TestServeMainUsageErrors pins the exit codes of the flag layer.
 func TestServeMainUsageErrors(t *testing.T) {
 	for _, args := range [][]string{

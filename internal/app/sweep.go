@@ -53,7 +53,7 @@ func SweepMain(args []string, stdout, stderr io.Writer) int {
 	if ok, code := parse(fs, args); !ok {
 		return code
 	}
-	if handled, code := listing(*list, *describe, stdout, stderr); handled {
+	if handled, code := listing(*list, *describe, resolveWorkers(*workers), stdout, stderr); handled {
 		return code
 	}
 	if *gridworker {
@@ -89,7 +89,7 @@ func SweepMain(args []string, stdout, stderr io.Writer) int {
 	}
 	res, err := runner.Run(context.Background(), jobs, runner.Options{
 		Tool:        "sweep",
-		Workers:     *workers,
+		Workers:     resolveWorkers(*workers),
 		Shard:       *shard,
 		JournalPath: *journalPath,
 		Resume:      *resume,

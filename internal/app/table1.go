@@ -24,13 +24,13 @@ func Table1Main(args []string, stdout, stderr io.Writer) int {
 	if ok, code := parse(fs, args); !ok {
 		return code
 	}
-	if handled, code := listing(*list, *describe, stdout, stderr); handled {
+	if handled, code := listing(*list, *describe, resolveWorkers(*workers), stdout, stderr); handled {
 		return code
 	}
 
 	cfg := table.Config{Phases: *phases, Groups: *groups}
 	if !*localOnly {
-		rows, err := table.RowsParallel(cfg, *workers)
+		rows, err := table.RowsParallel(cfg, resolveWorkers(*workers))
 		if err != nil {
 			fmt.Fprintln(stderr, "table1:", err)
 			return 1
@@ -40,7 +40,7 @@ func Table1Main(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, table.Format(rows))
 		fmt.Fprintln(stdout)
 	}
-	rows, err := table.LocalRowsParallel(cfg, *workers)
+	rows, err := table.LocalRowsParallel(cfg, resolveWorkers(*workers))
 	if err != nil {
 		fmt.Fprintln(stderr, "table1:", err)
 		return 1

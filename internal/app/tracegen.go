@@ -42,11 +42,12 @@ func TracegenMain(args []string, stdout, stderr io.Writer) int {
 	}
 	// Top-level -list/-describe (and -h) without a subcommand.
 	fs := newFlagSet("tracegen", stderr)
+	workers := workersFlag(fs)
 	list, describe := listingFlags(fs)
 	if ok, code := parse(fs, args); !ok {
 		return code
 	}
-	if handled, code := listing(*list, *describe, stdout, stderr); handled {
+	if handled, code := listing(*list, *describe, resolveWorkers(*workers), stdout, stderr); handled {
 		return code
 	}
 	return tracegenUsage(stderr)
@@ -247,7 +248,7 @@ func tracegenInfo(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		defer f.Close()
-		opt, nsegs, err := reqsched.OptimumStream(reqsched.TraceSegments(f), *workers)
+		opt, nsegs, err := reqsched.OptimumStream(reqsched.TraceSegments(f), resolveWorkers(*workers))
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1

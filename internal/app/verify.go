@@ -41,7 +41,8 @@ func VerifyMain(args []string, stdout, stderr io.Writer) int {
 	if ok, code := parse(fs, args); !ok {
 		return code
 	}
-	if handled, code := listing(*list, *describe, stdout, stderr); handled {
+	w := resolveWorkers(*workers)
+	if handled, code := listing(*list, *describe, w, stdout, stderr); handled {
 		return code
 	}
 
@@ -85,7 +86,7 @@ func VerifyMain(args []string, stdout, stderr io.Writer) int {
 	for i, r := range rows {
 		jobs[i] = reqsched.MeasureJob{Name: r.name, Build: r.build, Strategy: r.strategy}
 	}
-	results := reqsched.MeasureParallel(jobs, *workers)
+	results := reqsched.MeasureParallel(jobs, w)
 	for i, m := range results {
 		r := rows[i]
 		got := m.Ratio()
@@ -126,7 +127,7 @@ func VerifyMain(args []string, stdout, stderr io.Writer) int {
 			continue
 		}
 		want := reqsched.Optimum(tr)
-		got := reqsched.OptimumParallel(tr, *workers)
+		got := reqsched.OptimumParallel(tr, w)
 		add("segmented OPT: "+r.name, got == want,
 			"parallel %d vs monolithic %d (%d segments)", got, want, reqsched.TraceSegmentCount(tr))
 	}
@@ -145,12 +146,49 @@ func VerifyMain(args []string, stdout, stderr io.Writer) int {
 			cfg.Rate = 0
 			tr = reqsched.Bursty(cfg, 3, 2+rng.Intn(6), r)
 		}
-		if reqsched.OptimumParallel(tr, *workers) != reqsched.Optimum(tr) {
+		if reqsched.OptimumParallel(tr, w) != reqsched.Optimum(tr) {
 			mismatches++
 		}
 	}
 	add("segmented OPT: random traces", mismatches == 0,
 		"%d/%d random workloads mismatched", mismatches, trials)
+
+	// 4a. The incremental rolling optimum — one maintained matching, one
+	// augmenting-path search per request, sealed at clean segment cuts —
+	// agrees with the monolithic solver on every oblivious Table 1 adversary
+	// trace and a fresh batch of random workloads. This is the solver behind
+	// the serve daemon's rolling ratio and the workers=1 adaptive stream.
+	for _, r := range rows {
+		tr := r.build().Trace
+		if tr == nil {
+			continue
+		}
+		want := reqsched.Optimum(tr)
+		got := reqsched.OptimumIncremental(tr)
+		add("incremental OPT: "+r.name, got == want,
+			"incremental %d vs monolithic %d (%d segments)", got, want, reqsched.TraceSegmentCount(tr))
+	}
+	irng := rand.New(rand.NewSource(424242))
+	incMismatches, incTrials := 0, 40
+	for i := 0; i < incTrials; i++ {
+		cfg := reqsched.WorkloadConfig{
+			N: 2 + irng.Intn(8), D: 1 + irng.Intn(5), Rounds: 20 + irng.Intn(60),
+			Rate: irng.Float64() * 12, Seed: irng.Int63(),
+		}
+		var tr *reqsched.Trace
+		if i%2 == 0 {
+			tr = reqsched.Uniform(cfg)
+		} else {
+			r := cfg.Rate
+			cfg.Rate = 0
+			tr = reqsched.Bursty(cfg, 3, 2+irng.Intn(6), r)
+		}
+		if reqsched.OptimumIncremental(tr) != reqsched.Optimum(tr) {
+			incMismatches++
+		}
+	}
+	add("incremental OPT: random traces", incMismatches == 0,
+		"%d/%d random workloads mismatched", incMismatches, incTrials)
 
 	// 4b. The weighted segmented solvers agree with their monolithic
 	// counterparts: identical max profit and identical minimum latency on
@@ -166,11 +204,11 @@ func VerifyMain(args []string, stdout, stderr io.Writer) int {
 		}
 		wtr := reqsched.WithWeights(tr, 8, 77)
 		wantP := reqsched.MaxProfit(wtr)
-		gotP := reqsched.MaxProfitParallel(wtr, *workers)
+		gotP := reqsched.MaxProfitParallel(wtr, w)
 		add("segmented profit: "+r.name, gotP == wantP,
 			"parallel %d vs monolithic %d", gotP, wantP)
 		_, wantL := reqsched.OptimumMinLatency(wtr)
-		logP, gotL := reqsched.OptimumMinLatencyParallel(wtr, *workers)
+		logP, gotL := reqsched.OptimumMinLatencyParallel(wtr, w)
 		add("segmented min latency: "+r.name,
 			gotL == wantL && reqsched.ValidateLog(wtr, logP) == nil,
 			"parallel %d vs monolithic %d (schedule of %d valid=%v)",
@@ -192,8 +230,8 @@ func VerifyMain(args []string, stdout, stderr io.Writer) int {
 		}
 		wtr := reqsched.WithWeights(tr, 1+rng.Intn(9), rng.Int63())
 		_, wantL := reqsched.OptimumMinLatency(wtr)
-		_, gotL := reqsched.OptimumMinLatencyParallel(wtr, *workers)
-		if reqsched.MaxProfitParallel(wtr, *workers) != reqsched.MaxProfit(wtr) || gotL != wantL {
+		_, gotL := reqsched.OptimumMinLatencyParallel(wtr, w)
+		if reqsched.MaxProfitParallel(wtr, w) != reqsched.MaxProfit(wtr) || gotL != wantL {
 			wMismatches++
 		}
 	}
@@ -203,7 +241,7 @@ func VerifyMain(args []string, stdout, stderr io.Writer) int {
 	// 4c. The streamed adaptive pipeline reproduces the materialized adaptive
 	// measurement on the Theorem 2.6 adversary.
 	wantAd := reqsched.MeasureConstruction(reqsched.AdversaryUniversal(6, 40), reqsched.NewABalance())
-	gotAd, nsegs := reqsched.MeasureAdaptiveStream(reqsched.NewABalance(), reqsched.AdversaryUniversal(6, 40).Source, *workers)
+	gotAd, nsegs := reqsched.MeasureAdaptiveStream(reqsched.NewABalance(), reqsched.AdversaryUniversal(6, 40).Source, w)
 	add("adaptive stream OPT", gotAd.OPT == wantAd.OPT && gotAd.ALG == wantAd.ALG,
 		"stream OPT/ALG %d/%d vs post-hoc %d/%d (%d segments)",
 		gotAd.OPT, gotAd.ALG, wantAd.OPT, wantAd.ALG, nsegs)
@@ -211,7 +249,7 @@ func VerifyMain(args []string, stdout, stderr io.Writer) int {
 	// 4d. Serve mode: the live daemon under the virtual clock reproduces the
 	// batch engine and the offline ratio pipeline bit for bit on the same
 	// stream.
-	serveChecks(add, *workers)
+	serveChecks(add, w)
 
 	// 4e. Policy decomposition: every canonical compose(...) form reproduces
 	// its legacy fused strategy bit for bit, and the SJF queue order relieves
@@ -221,13 +259,13 @@ func VerifyMain(args []string, stdout, stderr io.Writer) int {
 	// 5. Fault-tolerant grid: deterministic manifests, journal resume with
 	// torn-tail truncation, and a chaos-killed worker subprocess — the
 	// machinery behind cmd/sweep -shard/-journal/-resume.
-	gridChecks(add, *workers)
+	gridChecks(add, w)
 
 	// 6. Optional toolchain gates.
 	if *tools {
 		cmds := [][]string{
 			{"go", "vet", "./..."},
-			{"go", "test", "-race", "./internal/offline", "./internal/ratio", "./internal/experiment", "./internal/grid", "./internal/serve", "./internal/policy"},
+			{"go", "test", "-race", "./internal/offline", "./internal/ratio", "./internal/experiment", "./internal/grid", "./internal/serve", "./internal/policy", "./internal/matching"},
 		}
 		for _, args := range cmds {
 			cmd := exec.Command(args[0], args[1:]...)

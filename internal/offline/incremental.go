@@ -1,0 +1,136 @@
+// Incremental offline optimum. The segmented solvers in this package answer
+// "what was OPT" after a segment is complete; IncrementalOpt answers "what is
+// OPT so far" while a segment is still open, by maintaining a maximum matching
+// (matching.Incremental) that grows one request at a time. Max-cardinality
+// matching is order-independent, so a sealed segment reports bit for bit the
+// same optimum as Optimum/OptimumParallel/OptimumStream on the same requests.
+package offline
+
+import (
+	"reqsched/internal/core"
+	"reqsched/internal/matching"
+)
+
+// IncrementalOpt maintains the offline optimum of an open segment as requests
+// arrive, one augmenting-path search per request. Slots are remapped densely:
+// slot (res, t) of the current segment maps to right vertex (t-base)*n + res,
+// where base is the arrival round of the segment's first request — O(1) per
+// edge and allocation-free once buffers reach steady state, which is what
+// lets the serve daemon's rolling-OPT worker run per-admitted-request instead
+// of per-sealed-segment. Not safe for concurrent use.
+type IncrementalOpt struct {
+	n       int
+	inc     *matching.Incremental
+	base    int     // absolute round of right-vertex row 0; valid when started
+	started bool    // base has been fixed for the open segment
+	adj     []int32 // per-request neighbor buffer, reused
+	count   int     // requests fed since the last Seal
+}
+
+// NewIncrementalOpt returns an incremental optimum tracker for n resources.
+func NewIncrementalOpt(n int) *IncrementalOpt {
+	return &IncrementalOpt{n: n, inc: matching.NewIncremental()}
+}
+
+// Rebase fixes the slot-row origin of the next open segment explicitly, so
+// its requests may then be fed in any order as long as none arrives before
+// base — the shape the reordering property tests exercise. Only valid while
+// no segment is open; without it, Add anchors base to its first request and
+// requires nondecreasing arrival rounds.
+func (o *IncrementalOpt) Rebase(base int) {
+	if o.count > 0 {
+		panic("offline: Rebase with an open segment")
+	}
+	o.base, o.started = base, true
+}
+
+// Add feeds one request — arrival round t, deadline window d, resource
+// alternatives alts — and repairs the matching. It reports whether the request
+// is servable by an offline schedule of everything seen since the last Seal
+// (i.e. whether the optimum grew). Requests must arrive in nondecreasing t
+// within a segment (unless Rebase fixed an earlier origin); t may jump
+// backwards only across a Seal.
+func (o *IncrementalOpt) Add(t, d int, alts []int) bool {
+	if !o.started {
+		o.base, o.started = t, true
+	}
+	o.count++
+	hi := t + d - 1
+	o.inc.EnsureRight((hi - o.base + 1) * o.n)
+	o.adj = o.adj[:0]
+	for _, a := range alts {
+		for tt := t; tt <= hi; tt++ {
+			o.adj = append(o.adj, int32((tt-o.base)*o.n+a))
+		}
+	}
+	return o.inc.AddLeft(o.adj)
+}
+
+// AddRequest feeds one core.Request.
+func (o *IncrementalOpt) AddRequest(r *core.Request) bool {
+	return o.Add(r.Arrive, r.D, r.Alts)
+}
+
+// Opt returns the offline optimum of every request fed since the last Seal.
+func (o *IncrementalOpt) Opt() int { return o.inc.Size() }
+
+// Count returns the number of requests fed since the last Seal.
+func (o *IncrementalOpt) Count() int { return o.count }
+
+// Seal closes the open segment, returning its final optimum and resetting the
+// tracker for the next segment. All buffers are kept, so a long-running
+// consumer allocates nothing per segment at steady state.
+func (o *IncrementalOpt) Seal() int {
+	opt := o.inc.Size()
+	o.inc.Rewind()
+	o.count, o.started = 0, false
+	return opt
+}
+
+// OptimumIncremental returns exactly Optimum(tr), computed by feeding the
+// trace's requests in arrival order through an IncrementalOpt — the
+// single-pass O(request × path) shape the serve rolling-ratio worker uses,
+// exposed whole-trace for verification and benchmarks. Segment seals are
+// unnecessary for the value: maximum matching decomposes over independent
+// pieces whether or not the matcher is rewound between them.
+func OptimumIncremental(tr *core.Trace) int {
+	o := NewIncrementalOpt(tr.N)
+	opt := 0
+	maxDL := -1
+	for t := range tr.Arrivals {
+		rs := tr.Arrivals[t]
+		if len(rs) == 0 {
+			continue
+		}
+		// Seal at clean cuts so right-vertex rows restart at the new base and
+		// memory stays proportional to the widest open window, not the horizon.
+		if o.Count() > 0 && t > maxDL {
+			opt += o.Seal()
+		}
+		for i := range rs {
+			r := &rs[i]
+			o.AddRequest(r)
+			if dl := r.Deadline(); dl > maxDL {
+				maxDL = dl
+			}
+		}
+	}
+	return opt + o.Seal()
+}
+
+// Solver is a reusable batch segment solver: Optimum(tr) with the segSolver
+// scratch (graph, matching, Hopcroft–Karp buffers) kept across calls, so a
+// long-running consumer solving many segments — the serve rolling-ratio
+// worker's batch fallback — allocates per its largest segment, not per
+// segment. Not safe for concurrent use.
+type Solver struct {
+	ss *segSolver
+}
+
+// NewSolver returns a batch solver with empty scratch.
+func NewSolver() *Solver { return &Solver{ss: newSegSolver()} }
+
+// Optimum returns exactly Optimum(tr), reusing the solver's scratch.
+func (s *Solver) Optimum(tr *core.Trace) int {
+	return int(s.ss.cardinality(tr.N, wholeTraceSegment(tr)))
+}

@@ -1,0 +1,164 @@
+package offline
+
+import (
+	"math/rand"
+	"testing"
+
+	"reqsched/internal/adversary"
+	"reqsched/internal/core"
+	"reqsched/internal/strategies"
+	"reqsched/internal/workload"
+)
+
+// checkIncremental asserts OptimumIncremental == Optimum, and that a reused
+// Solver agrees too.
+func checkIncremental(t *testing.T, name string, tr *core.Trace, sv *Solver) {
+	t.Helper()
+	want := Optimum(tr)
+	if got := OptimumIncremental(tr); got != want {
+		t.Fatalf("%s: OptimumIncremental = %d, Optimum = %d", name, got, want)
+	}
+	if got := sv.Optimum(tr); got != want {
+		t.Fatalf("%s: Solver.Optimum = %d, Optimum = %d", name, got, want)
+	}
+}
+
+func TestOptimumIncrementalEqualsOptimumOnAdversaries(t *testing.T) {
+	cons := []adversary.Construction{
+		adversary.Fix(2, 6),
+		adversary.Fix(4, 3),
+		adversary.Current(3, 3),
+		adversary.CurrentFactorial(3, 2),
+		adversary.FixBalance(2, 6),
+		adversary.FixBalance(4, 3),
+		adversary.Eager(2, 6),
+		adversary.Eager(4, 3),
+		adversary.Balance(2, 3, 3),
+		adversary.Balance(3, 2, 2),
+		adversary.UniversalAnyD(4, 3),
+		adversary.UniversalAnyD(5, 2),
+		adversary.LocalFix(3, 4),
+		adversary.EDFWorstCase(3, 4),
+		adversary.Universal(3, 3),
+		adversary.Universal(6, 2),
+	}
+	sv := NewSolver()
+	for _, c := range cons {
+		tr := c.Trace
+		if tr == nil {
+			_, tr = core.RunAdaptive(strategies.NewFix(), c.Source)
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("%s: adaptive trace invalid: %v", c.Name, err)
+			}
+		}
+		checkIncremental(t, c.Name, tr, sv)
+	}
+}
+
+func TestOptimumIncrementalEqualsOptimumRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sv := NewSolver()
+	for i := 0; i < 150; i++ {
+		tr := gappedTrace(rng, 2+rng.Intn(4), 1+rng.Intn(3), 1+rng.Intn(4), 5)
+		checkIncremental(t, "gapped", tr, sv)
+	}
+	for i := 0; i < 150; i++ {
+		tr := randomTrace(rng, 2+rng.Intn(5), 1+rng.Intn(4), 1+rng.Intn(8), 6)
+		checkIncremental(t, "dense", tr, sv)
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		cfg := workload.Config{N: 4, D: 3, Rounds: 10, Rate: 3, Seed: seed}
+		checkIncremental(t, "uniform", workload.Uniform(cfg), sv)
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		cfg := workload.Config{N: 4, D: 2, Rounds: 12, Rate: 2, Seed: seed}
+		checkIncremental(t, "bursty", workload.Bursty(cfg, 3, 4, 5), sv)
+	}
+}
+
+// TestIncrementalOptReorderWithinSegment pins the satellite property: feeding
+// a segment's requests in any order yields the same sealed optimum, because
+// max-cardinality matching is order-independent. Race-enabled via the -tools
+// race list.
+func TestIncrementalOptReorderWithinSegment(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		tr := randomTrace(rng, 2+rng.Intn(4), 1+rng.Intn(4), 1+rng.Intn(6), 5)
+		want := Optimum(tr)
+		reqs := tr.Requests()
+		if len(reqs) == 0 {
+			continue
+		}
+		o := NewIncrementalOpt(tr.N)
+		for shuffle := 0; shuffle < 3; shuffle++ {
+			rng.Shuffle(len(reqs), func(i, j int) { reqs[i], reqs[j] = reqs[j], reqs[i] })
+			o.Rebase(0)
+			for _, r := range reqs {
+				o.AddRequest(r)
+			}
+			if got := o.Seal(); got != want {
+				t.Fatalf("trial %d shuffle %d: sealed %d, Optimum %d", trial, shuffle, got, want)
+			}
+		}
+	}
+}
+
+// TestIncrementalOptSealIsolation pins that segments fed through one reused
+// tracker are independent: each seal reports exactly that segment's optimum.
+func TestIncrementalOptSealIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	o := NewIncrementalOpt(5)
+	for seg := 0; seg < 50; seg++ {
+		tr := randomTrace(rng, 5, 1+rng.Intn(3), 1+rng.Intn(6), 4)
+		for _, r := range tr.Requests() {
+			o.AddRequest(r)
+		}
+		if got, want := o.Seal(), Optimum(tr); got != want {
+			t.Fatalf("segment %d: sealed %d, Optimum %d", seg, got, want)
+		}
+	}
+}
+
+// TestIncrementalOptServableBit pins Add's return value: it reports whether
+// the offline optimum of the open segment grew, so the running count of true
+// returns equals Opt().
+func TestIncrementalOptServableBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tr := randomTrace(rng, 4, 3, 6, 5)
+	o := NewIncrementalOpt(tr.N)
+	grew := 0
+	for _, r := range tr.Requests() {
+		if o.AddRequest(r) {
+			grew++
+		}
+		if grew != o.Opt() {
+			t.Fatalf("after request %d: %d grows, Opt %d", r.ID, grew, o.Opt())
+		}
+	}
+	if o.Opt() != Optimum(tr) {
+		t.Fatalf("final Opt %d, Optimum %d", o.Opt(), Optimum(tr))
+	}
+}
+
+func BenchmarkOptimumIncrementalVsCold(b *testing.B) {
+	tr := workload.Bursty(workload.Config{N: 16, D: 4, Rounds: 4000, Rate: 0, Seed: 5}, 4, 8, 50)
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			OptimumIncremental(tr)
+		}
+	})
+	b.Run("solver_reused", func(b *testing.B) {
+		b.ReportAllocs()
+		sv := NewSolver()
+		for i := 0; i < b.N; i++ {
+			sv.Optimum(tr)
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Optimum(tr)
+		}
+	})
+}

@@ -22,8 +22,14 @@ import (
 // collector reclaims them — the full trace never exists in memory. It
 // returns the measurement (identical OPT, ALG and Expired to MeasureAdaptive
 // on the same source) and the number of segments the run decomposed into.
-// workers <= 0 means GOMAXPROCS.
+// workers <= 0 means GOMAXPROCS; workers == 1 takes the incremental fast
+// path, which maintains the optimum matching request by request instead of
+// materializing and solving segment sub-traces — same values, no per-segment
+// graph construction.
 func RunAdaptiveStream(s core.Strategy, src core.AdaptiveSource, workers int) (Measurement, int) {
+	if workers == 1 {
+		return runAdaptiveIncremental(s, src)
+	}
 	var res *core.Result
 	segs := func(yield func(*core.Trace, error) bool) {
 		sc := trace.NewSegmentCutter(src.N(), src.D())
@@ -50,6 +56,43 @@ func RunAdaptiveStream(s core.Strategy, src core.AdaptiveSource, workers int) (M
 		// The iterator above never yields an error; OptimumStream can only
 		// propagate one from it.
 		panic(err)
+	}
+	return Measurement{
+		Strategy: s.Name(),
+		Input:    "adaptive",
+		N:        src.N(),
+		D:        src.D(),
+		OPT:      opt,
+		ALG:      res.Fulfilled,
+		Expired:  res.Expired,
+	}, nsegs
+}
+
+// runAdaptiveIncremental is the single-worker shape of RunAdaptiveStream:
+// arrivals feed an offline.IncrementalOpt directly, sealed at exactly the
+// clean cuts the SegmentCutter would make (arrival round past every earlier
+// deadline), so OPT and the segment count match the pool path bit for bit
+// while no segment sub-trace is ever materialized.
+func runAdaptiveIncremental(s core.Strategy, src core.AdaptiveSource) (Measurement, int) {
+	inc := offline.NewIncrementalOpt(src.N())
+	opt, nsegs, maxDL := 0, 0, -1
+	res, ok := core.RunAdaptiveObserved(s, src, func(t int, arrivals []core.Request) bool {
+		for i := range arrivals {
+			a := &arrivals[i]
+			if inc.Count() > 0 && a.Arrive > maxDL {
+				opt += inc.Seal()
+				nsegs++
+			}
+			inc.Add(a.Arrive, a.D, a.Alts)
+			if dl := a.Deadline(); dl > maxDL {
+				maxDL = dl
+			}
+		}
+		return true
+	})
+	if ok && inc.Count() > 0 {
+		opt += inc.Seal()
+		nsegs++
 	}
 	return Measurement{
 		Strategy: s.Name(),

@@ -65,6 +65,31 @@ func (g *gappedSource) Next(t int, isServed func(id int) bool) [][]int {
 
 func (g *gappedSource) Done(t int) bool { return t >= g.bursts*g.period }
 
+// TestRunAdaptiveStreamIncrementalPathMatchesPool pins the workers==1
+// incremental fast path (request-by-request matching, no materialized
+// segments) against the segment-solving worker pool: identical measurement
+// and identical segment count.
+func TestRunAdaptiveStreamIncrementalPathMatchesPool(t *testing.T) {
+	for _, mk := range []func() core.Strategy{
+		func() core.Strategy { return strategies.NewFix() },
+		func() core.Strategy { return strategies.NewEager() },
+		func() core.Strategy { return strategies.NewEDF() },
+	} {
+		inc, isegs := RunAdaptiveStream(mk(), newGappedSource(4, 3, 6), 1)
+		pool, psegs := RunAdaptiveStream(mk(), newGappedSource(4, 3, 6), 2)
+		if inc != pool || isegs != psegs {
+			t.Fatalf("%s: incremental %+v (%d segs), pool %+v (%d segs)",
+				inc.Strategy, inc, isegs, pool, psegs)
+		}
+		adv, asegs := RunAdaptiveStream(mk(), adversary.Universal(3, 4).Source, 1)
+		advPool, apsegs := RunAdaptiveStream(mk(), adversary.Universal(3, 4).Source, 2)
+		if adv != advPool || asegs != apsegs {
+			t.Fatalf("%s adversary: incremental %+v (%d segs), pool %+v (%d segs)",
+				adv.Strategy, adv, asegs, advPool, apsegs)
+		}
+	}
+}
+
 func TestRunAdaptiveStreamSegmentsGappedSource(t *testing.T) {
 	const bursts = 7
 	src := newGappedSource(3, 2, bursts)

@@ -11,6 +11,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"reqsched/internal/trace"
 )
@@ -42,6 +43,17 @@ type ingestReply struct {
 	Offset   *int64 `json:"offset,omitempty"`
 }
 
+// ingestBatch is one connection's pooled decode buffer: up to IngestBatch
+// records plus each line's byte offset. Record slots keep their Alts capacity
+// across batches and connections, so a warm daemon decodes without per-line
+// allocation; admission copies the alternatives out.
+type ingestBatch struct {
+	recs []trace.StreamRecord
+	offs []int64
+}
+
+var ingestPool = sync.Pool{New: func() any { return new(ingestBatch) }}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	br := bufio.NewReader(r.Body)
 	var off int64
@@ -56,13 +68,84 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, status, rep)
 	}
+
+	batch := ingestPool.Get().(*ingestBatch)
+	defer func() {
+		batch.recs = batch.recs[:0]
+		batch.offs = batch.offs[:0]
+		ingestPool.Put(batch)
+	}()
+	var shard *queueShard
+	if s.sq != nil {
+		shard = s.sq.pick()
+	}
+	// admit pushes the decoded batch through admission — one engine-lock
+	// acquisition for the whole batch, or the lock-free shard path under
+	// striping. Record-at-a-time verdicts and order are preserved exactly; on
+	// a rejection it reports the failing record and everything admitted stays.
+	admit := func() (trace.StreamRecord, int64, admitVerdict) {
+		n := 0
+		verdict := admitOK
+		if shard != nil {
+			for _, rec := range batch.recs {
+				if verdict = s.admitStriped(rec, shard); verdict != admitOK {
+					break
+				}
+				n++
+			}
+		} else {
+			s.mu.Lock()
+			for _, rec := range batch.recs {
+				if verdict = s.admitLocked(rec); verdict != admitOK {
+					break
+				}
+				n++
+			}
+			s.mu.Unlock()
+		}
+		accepted += n
+		var failRec trace.StreamRecord
+		var failOff int64
+		if verdict != admitOK {
+			failRec, failOff = batch.recs[n], batch.offs[n]
+		}
+		batch.recs = batch.recs[:0]
+		batch.offs = batch.offs[:0]
+		return failRec, failOff, verdict
+	}
+	failVerdict := func(rec trace.StreamRecord, lineOff int64, verdict admitVerdict) {
+		switch verdict {
+		case admitDraining:
+			fail(http.StatusServiceUnavailable, lineOff, "server is draining")
+		case admitQueueFull:
+			fail(http.StatusTooManyRequests, lineOff,
+				"arrival queue full (%d)", s.cfg.QueueCap)
+		case admitOutOfOrder:
+			fail(http.StatusBadRequest, lineOff,
+				"arrival round %d is already closed (next round %d)", rec.T, s.nextRound())
+		case admitExpired:
+			fail(http.StatusBadRequest, lineOff,
+				"record expired on arrival: deadline %d before round %d", rec.Deadline(), s.nextRound())
+		case admitWindow:
+			fail(http.StatusBadRequest, lineOff,
+				"window %d exceeds server maximum %d", rec.D, s.cfg.MaxD)
+		}
+	}
+
 	sawHeader := false
+	index := 0
 	for {
 		line, next, err := ScanBodyLine(br, off)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
+			// Intact lines before the failure still admit (a rejection among
+			// them takes precedence — the client resolves it first).
+			if rec, failOff, v := admit(); v != admitOK {
+				failVerdict(rec, failOff, v)
+				return
+			}
 			// A torn final line: the client got cut off mid-record. Reject
 			// the tail but keep everything before it.
 			if torn, ok := err.(*trace.TornTail); ok {
@@ -74,7 +157,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		lineOff := off
 		off = next
-		if !sawHeader && accepted == 0 {
+		if !sawHeader && index == 0 {
 			// A leading stream header is allowed (so a trace file POSTs
 			// verbatim) but must match the daemon's contract.
 			if n, d, ok := parseHeader(line); ok {
@@ -88,40 +171,35 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 		}
-		rec, err := trace.DecodeStreamRecord(line, s.cfg.N, s.cfg.D, accepted)
-		if err != nil {
-			s.mu.Lock()
-			s.rej.Malformed++
-			s.mu.Unlock()
+		// Extend by one slot, reviving a previous batch's slot (and its Alts
+		// buffer) when capacity allows.
+		if len(batch.recs) < cap(batch.recs) {
+			batch.recs = batch.recs[:len(batch.recs)+1]
+		} else {
+			batch.recs = append(batch.recs, trace.StreamRecord{})
+		}
+		if err := trace.DecodeStreamRecordInto(&batch.recs[len(batch.recs)-1], line, s.cfg.N, s.cfg.D, index); err != nil {
+			batch.recs = batch.recs[:len(batch.recs)-1]
+			if rec, failOff, v := admit(); v != admitOK {
+				failVerdict(rec, failOff, v)
+				return
+			}
+			s.countReject(&s.rej.Malformed)
 			fail(http.StatusBadRequest, lineOff, "%v", err)
 			return
 		}
-		s.mu.Lock()
-		verdict := s.admitLocked(rec)
-		s.mu.Unlock()
-		switch verdict {
-		case admitOK:
-			accepted++
-		case admitDraining:
-			fail(http.StatusServiceUnavailable, lineOff, "server is draining")
-			return
-		case admitQueueFull:
-			fail(http.StatusTooManyRequests, lineOff,
-				"arrival queue full (%d)", s.cfg.QueueCap)
-			return
-		case admitOutOfOrder:
-			fail(http.StatusBadRequest, lineOff,
-				"arrival round %d is already closed (next round %d)", rec.T, s.nextRound())
-			return
-		case admitExpired:
-			fail(http.StatusBadRequest, lineOff,
-				"record expired on arrival: deadline %d before round %d", rec.Deadline(), s.nextRound())
-			return
-		case admitWindow:
-			fail(http.StatusBadRequest, lineOff,
-				"window %d exceeds server maximum %d", rec.D, s.cfg.MaxD)
-			return
+		batch.offs = append(batch.offs, lineOff)
+		index++
+		if len(batch.recs) >= s.cfg.IngestBatch {
+			if rec, failOff, v := admit(); v != admitOK {
+				failVerdict(rec, failOff, v)
+				return
+			}
 		}
+	}
+	if rec, failOff, v := admit(); v != admitOK {
+		failVerdict(rec, failOff, v)
+		return
 	}
 	writeJSON(w, http.StatusOK, ingestReply{Accepted: accepted})
 }
@@ -169,6 +247,7 @@ func (s *Server) retryAfter() int {
 	s.mu.Lock()
 	depth := len(s.queue)
 	s.mu.Unlock()
+	depth += s.stripedDepth()
 	rounds := (depth + s.cfg.N - 1) / s.cfg.N
 	if rounds < 1 {
 		rounds = 1

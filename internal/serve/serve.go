@@ -13,7 +13,9 @@ package serve
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"reqsched/internal/core"
@@ -52,6 +54,23 @@ type Config struct {
 	// KeepLog retains the full fulfillment log in the engine result (memory
 	// grows with traffic; meant for equivalence tests, not production runs).
 	KeepLog bool
+	// IngestBatch is how many records one ingest connection decodes before
+	// admitting them under a single engine-lock acquisition. 0 means 256;
+	// 1 reproduces the original record-at-a-time admission. Admission order
+	// and verdicts are identical for every value — batching only changes how
+	// often the lock is taken.
+	IngestBatch int
+	// Stripes shards the wall-clock arrival queue: each ingest connection
+	// buffers admitted records into one of Stripes shards guarded by its own
+	// lock, and the shards merge — in shard order, IDs assigned at the merge —
+	// at every tick. 0 means GOMAXPROCS; 1 keeps the single queue. Ignored
+	// under the virtual clock, whose admission is order-dependent by contract.
+	Stripes int
+	// RollingBatch switches the rolling-ratio worker back to whole-segment
+	// Hopcroft–Karp solves (with scratch reused across segments) instead of
+	// the default per-request incremental matching. Values are identical
+	// either way; the batch path exists as a fallback and for benchmarks.
+	RollingBatch bool
 }
 
 // Server is the live scheduler daemon. Its HTTP surface is
@@ -82,8 +101,13 @@ type Server struct {
 	finished bool
 	final    *core.Result
 
+	// wall-clock striped ingest fast path (nil when Stripes <= 1 or virtual)
+	sq       *stripedQueue
+	closedIn atomic.Bool  // mirrors draining/finished for the lock-free check
+	round    atomic.Int64 // mirrors st.Round() for the expired-on-arrival check
+
 	// rolling-ratio worker
-	segCh  chan segJob
+	optCh  chan optJob
 	wg     sync.WaitGroup
 	ratMu  sync.Mutex
 	opt    int // optimum over solved segments
@@ -94,10 +118,25 @@ type Server struct {
 	stop chan struct{} // stops the wall-clock ticker
 }
 
-type segJob struct {
-	seg *core.Trace
-	alg int
+// optJob is one message to the rolling-ratio worker: a batch of admitted
+// requests to feed the incremental matching, a seal of the open segment
+// (carrying its ALG delta), or — on the batch fallback path — a whole closed
+// segment to solve in one go.
+type optJob struct {
+	batch *reqBatch // incremental feed; worker recycles it into the pool
+	seal  bool      // seal the open segment after feeding batch
+	alg   int       // seal or seg: the closed segment's ALG delta
+	seg   *core.Trace
 }
+
+// reqBatch is a pooled slice of admitted requests in flight to the
+// rolling-ratio worker. The requests themselves are immutable once flushed
+// into the engine, so the worker reads them without locks.
+type reqBatch struct {
+	recs []*core.Request
+}
+
+var batchPool = sync.Pool{New: func() any { return new(reqBatch) }}
 
 type rejectCounts struct {
 	Malformed int `json:"malformed"`
@@ -127,6 +166,21 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueCap < 1 {
 		return nil, fmt.Errorf("serve: queue capacity %d below 1", cfg.QueueCap)
 	}
+	if cfg.IngestBatch < 0 {
+		return nil, fmt.Errorf("serve: ingest batch %d below 0", cfg.IngestBatch)
+	}
+	if cfg.IngestBatch == 0 {
+		cfg.IngestBatch = 256
+	}
+	if cfg.Stripes < 0 {
+		return nil, fmt.Errorf("serve: stripes %d below 0", cfg.Stripes)
+	}
+	if cfg.Stripes == 0 {
+		cfg.Stripes = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Virtual {
+		cfg.Stripes = 1 // admission is order-dependent under the virtual clock
+	}
 	if cfg.StrategyName == "" {
 		cfg.StrategyName = cfg.Strategy.Name()
 	}
@@ -135,8 +189,11 @@ func New(cfg Config) (*Server, error) {
 		hist:     stats.NewHistogram(cfg.MaxD),
 		cutter:   trace.NewSegmentCutter(cfg.N, cfg.D),
 		segMaxDL: -1,
-		segCh:    make(chan segJob, 64),
+		optCh:    make(chan optJob, 256),
 		stop:     make(chan struct{}),
+	}
+	if cfg.Stripes > 1 {
+		s.sq = newStripedQueue(cfg.Stripes)
 	}
 	s.st = core.NewStepper(cfg.Strategy, cfg.N, cfg.D, cfg.MaxD)
 	s.st.KeepLog = cfg.KeepLog
@@ -149,19 +206,46 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// optWorker solves each closed segment's offline optimum and folds it into
-// the rolling totals. It touches no engine state, so segment solving never
-// blocks ingest (beyond the bounded channel's backpressure).
+// optWorker maintains the rolling offline optimum. On the default incremental
+// path it feeds every admitted request into a maintained maximum matching —
+// one augmenting-path search per request, all scratch reused across segments —
+// so a seal folds the finished value in immediately instead of paying a cold
+// whole-segment Hopcroft–Karp. On the batch fallback it still solves whole
+// segments, but through a Solver whose graph/matching/search scratch persists
+// across jobs. It touches no engine state, so optimum maintenance never blocks
+// ingest (beyond the bounded channel's backpressure).
 func (s *Server) optWorker() {
 	defer s.wg.Done()
-	for job := range s.segCh {
-		opt := offline.Optimum(job.seg)
-		s.ratMu.Lock()
-		s.opt += opt
-		s.alg += job.alg
-		s.solved++
-		s.ratMu.Unlock()
+	inc := offline.NewIncrementalOpt(s.cfg.N)
+	var sv *offline.Solver
+	for job := range s.optCh {
+		if job.seg != nil {
+			if sv == nil {
+				sv = offline.NewSolver()
+			}
+			s.foldSegment(sv.Optimum(job.seg), job.alg)
+			continue
+		}
+		if job.batch != nil {
+			for _, r := range job.batch.recs {
+				inc.Add(r.Arrive, r.D, r.Alts)
+			}
+			job.batch.recs = job.batch.recs[:0]
+			batchPool.Put(job.batch)
+		}
+		if job.seal {
+			s.foldSegment(inc.Seal(), job.alg)
+		}
 	}
+}
+
+// foldSegment adds one solved segment's optimum and ALG to the rolling totals.
+func (s *Server) foldSegment(opt, alg int) {
+	s.ratMu.Lock()
+	s.opt += opt
+	s.alg += alg
+	s.solved++
+	s.ratMu.Unlock()
 }
 
 func (s *Server) runTicker() {
@@ -242,7 +326,8 @@ func (s *Server) admitLocked(rec trace.StreamRecord) admitVerdict {
 // flushLocked admits the queued batch to the engine at round s.batchT:
 // segment bookkeeping first (a batch past every buffered deadline closes the
 // open segment), then the empty rounds up to the batch round, then the batch
-// itself.
+// itself. On the incremental path the batch is also handed to the optimum
+// worker, which has been matching the open segment's requests all along.
 func (s *Server) flushLocked() {
 	if len(s.queue) == 0 {
 		return
@@ -253,14 +338,25 @@ func (s *Server) flushLocked() {
 		// <= segMaxDL < t, so running the engine through segMaxDL makes all
 		// of the segment's services and expiries final before the snapshot.
 		s.runToLocked(s.segMaxDL + 1)
+		if !s.cfg.RollingBatch {
+			s.sealSegmentLocked()
+		}
 		s.segCount = 0
 		s.segMaxDL = -1
 	}
-	for _, r := range s.queue {
-		rec := trace.StreamRecord{T: r.Arrive, D: r.D, W: r.Weight(), Alts: r.Alts}
-		if done := s.cutter.Add(rec); done != nil {
-			s.closeSegmentLocked(done)
+	if s.cfg.RollingBatch {
+		for _, r := range s.queue {
+			rec := trace.StreamRecord{T: r.Arrive, D: r.D, W: r.Weight(), Alts: r.Alts}
+			if done := s.cutter.Add(rec); done != nil {
+				s.closeSegmentLocked(done)
+			}
 		}
+	} else {
+		b := batchPool.Get().(*reqBatch)
+		b.recs = append(b.recs[:0], s.queue...)
+		s.optCh <- optJob{batch: b}
+	}
+	for _, r := range s.queue {
 		s.segCount++
 		if dl := r.Deadline(); dl > s.segMaxDL {
 			s.segMaxDL = dl
@@ -272,14 +368,27 @@ func (s *Server) flushLocked() {
 }
 
 // closeSegmentLocked snapshots the engine's fulfillment delta for a closed
-// segment and hands it to the optimum worker. The engine has completed every
-// round the segment spans, so the delta is exactly the segment's ALG.
+// segment and hands it to the optimum worker (batch fallback path). The
+// engine has completed every round the segment spans, so the delta is exactly
+// the segment's ALG.
 func (s *Server) closeSegmentLocked(seg *core.Trace) {
 	res := s.st.Result()
-	job := segJob{seg: seg, alg: res.Fulfilled - s.algMark}
+	job := optJob{seg: seg, alg: res.Fulfilled - s.algMark}
 	s.algMark = res.Fulfilled
 	s.closed++
-	s.segCh <- job
+	s.optCh <- job
+}
+
+// sealSegmentLocked tells the optimum worker to seal the open segment
+// (incremental path). The engine has completed every round the segment spans,
+// so the fulfillment delta is exactly the segment's ALG — the same snapshot
+// point closeSegmentLocked uses.
+func (s *Server) sealSegmentLocked() {
+	res := s.st.Result()
+	job := optJob{seal: true, alg: res.Fulfilled - s.algMark}
+	s.algMark = res.Fulfilled
+	s.closed++
+	s.optCh <- job
 }
 
 // runToLocked steps empty rounds until the engine's next round is t.
@@ -298,6 +407,7 @@ func (s *Server) Tick() {
 		return
 	}
 	t := s.st.Round()
+	s.mergeStripesLocked(false)
 	for _, r := range s.queue {
 		r.Arrive = t // definitive arrival round is assigned at the tick
 	}
@@ -307,6 +417,7 @@ func (s *Server) Tick() {
 	} else {
 		s.st.Step(nil)
 	}
+	s.round.Store(int64(s.st.Round()))
 }
 
 // Drain stops admitting, runs the engine until no request is pending, closes
@@ -320,7 +431,9 @@ func (s *Server) Drain() Metrics {
 		return m
 	}
 	s.draining = true
+	s.closedIn.Store(true)
 	if !s.cfg.Virtual {
+		s.mergeStripesLocked(true)
 		for _, r := range s.queue {
 			r.Arrive = s.st.Round()
 		}
@@ -330,10 +443,16 @@ func (s *Server) Drain() Metrics {
 	for s.st.Pending() > 0 {
 		s.st.Step(nil)
 	}
-	if done := s.cutter.Finish(); done != nil {
-		s.closeSegmentLocked(done)
+	if s.cfg.RollingBatch {
+		if done := s.cutter.Finish(); done != nil {
+			s.closeSegmentLocked(done)
+		}
+	} else if s.segCount > 0 {
+		s.sealSegmentLocked()
+		s.segCount = 0
+		s.segMaxDL = -1
 	}
-	close(s.segCh)
+	close(s.optCh)
 	s.mu.Unlock()
 
 	s.wg.Wait() // all segments solved; rolling totals final
@@ -352,7 +471,8 @@ func (s *Server) Close() {
 	s.mu.Lock()
 	if !s.finished {
 		s.finished = true
-		close(s.segCh)
+		s.closedIn.Store(true)
+		close(s.optCh)
 		s.mu.Unlock()
 		s.wg.Wait()
 		close(s.stop)
@@ -440,7 +560,7 @@ func (s *Server) metricsLocked() Metrics {
 		Fulfilled:  res.Fulfilled,
 		Expired:    res.Expired,
 		Pending:    s.st.Pending(),
-		QueueDepth: len(s.queue),
+		QueueDepth: len(s.queue) + s.stripedDepth(),
 		QueueCap:   s.cfg.QueueCap,
 		Rejected:   s.rej,
 		Resources:  append([]int(nil), res.PerResource...),

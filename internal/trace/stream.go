@@ -256,21 +256,36 @@ func (sr *StreamReader) Next() (StreamRecord, error) {
 // of StreamReader.Next, exported for ingest paths — like the serve daemon —
 // that receive records outside a file stream and enforce ordering themselves.
 func DecodeStreamRecord(line []byte, n, d, index int) (StreamRecord, error) {
-	var rec fileRecord
-	if err := json.Unmarshal(line, &rec); err != nil {
-		return StreamRecord{}, fmt.Errorf("trace: stream request %d: %w", index, err)
-	}
-	if err := checkRecord(n, index, rec.T, rec.D, rec.Alts); err != nil {
+	var out StreamRecord
+	if err := DecodeStreamRecordInto(&out, line, n, d, index); err != nil {
 		return StreamRecord{}, err
 	}
-	out := StreamRecord{T: rec.T, D: rec.D, W: rec.W, Alts: rec.Alts}
+	return out, nil
+}
+
+// DecodeStreamRecordInto is DecodeStreamRecord reusing out's Alts capacity:
+// the decoder appends into out.Alts[:0], so a hot ingest loop that copies
+// alternatives out of the record reaches zero allocations per line once the
+// buffer has grown to the widest record. On error the record fields are
+// unspecified, but the Alts buffer is retained for the next call.
+func DecodeStreamRecordInto(out *StreamRecord, line []byte, n, d, index int) error {
+	rec := fileRecord{Alts: out.Alts[:0]}
+	err := json.Unmarshal(line, &rec)
+	out.Alts = rec.Alts // keep the (possibly regrown) buffer either way
+	if err != nil {
+		return fmt.Errorf("trace: stream request %d: %w", index, err)
+	}
+	if err := checkRecord(n, index, rec.T, rec.D, rec.Alts); err != nil {
+		return err
+	}
+	out.T, out.D, out.W = rec.T, rec.D, rec.W
 	if out.D == 0 {
 		out.D = d
 	}
 	if out.W < 1 {
 		out.W = 1
 	}
-	return out, nil
+	return nil
 }
 
 // ReadStream materializes a whole JSONL stream as a validated trace — the

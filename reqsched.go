@@ -130,6 +130,14 @@ func TraceSegmentCount(tr *Trace) int {
 	return len(segs)
 }
 
+// OptimumIncremental returns exactly Optimum(tr), computed by maintaining one
+// matching over the growing request/slot graph — a single augmenting-path
+// search per request — and sealing it at every clean segment cut. No
+// per-segment graph construction or sub-trace materialization: the scratch is
+// reused across the whole trace, which is what the serve daemon's rolling
+// ratio runs on.
+func OptimumIncremental(tr *Trace) int { return offline.OptimumIncremental(tr) }
+
 // OptimumStream sums the offline optimum over a stream of independent
 // sub-traces (e.g. TraceSegments over a JSONL stream) on a worker pool,
 // holding at most workers+1 segments in memory — the bounded-memory

@@ -1,5 +1,7 @@
-// Command gridworker is the subprocess half of the fault-tolerant sweep
-// grid; see app.GridworkerMain.
+// Command gridworker is the worker half of the fault-tolerant sweep grid:
+// by default a subprocess speaking the JSONL protocol on stdin/stdout, with
+// -listen a TCP daemon serving the same protocol to remote supervisors
+// (`sweep -workers-at`); see app.GridworkerMain.
 package main
 
 import (

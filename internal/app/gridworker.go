@@ -1,9 +1,13 @@
 package app
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"reqsched/internal/grid"
@@ -28,14 +32,42 @@ func gridworkerRun(stderr io.Writer, hb time.Duration) int {
 	return 0
 }
 
-// GridworkerMain is the main program of cmd/gridworker: the subprocess half
-// of the fault-tolerant sweep grid — one job line in, heartbeat lines while
-// measuring, one sealed result (or error) line out per job; exit 0 on stdin
-// EOF. The supervisor (internal/grid.Run, wired through `sweep -shard N`)
-// spawns a pool of these and re-verifies every returned record.
+// gridworkerListen serves the gridworker protocol over TCP until ctx is
+// cancelled: each supervisor connection gets the versioned handshake and then
+// the same job loop the pipe transport drives over stdin/stdout. The chaos
+// process faults (GRID_CHAOS) arm per connection, mirroring per-subprocess
+// arming on the pipe transport.
+func gridworkerListen(ctx context.Context, addr string, hb time.Duration, stdout, stderr io.Writer) int {
+	faults, err := chaos.FromEnv()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "gridworker: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "gridworker: listening on %s (protocol v%d)\n", ln.Addr(), grid.ProtoVersion)
+	if err := grid.ServeWorker(ctx, ln, hb, faults, stderr); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	return 0
+}
+
+// GridworkerMain is the main program of cmd/gridworker: the worker half of
+// the fault-tolerant sweep grid — one job line in, heartbeat lines while
+// measuring, one sealed result (or error) line out per job. By default it
+// speaks the protocol on stdin/stdout for a supervising parent (`sweep
+// -shard N`); with -listen it serves the same protocol over TCP for remote
+// supervisors (`sweep -workers-at host:port,...`), exiting cleanly on
+// SIGINT/SIGTERM. The supervisor re-verifies every returned record either
+// way.
 func GridworkerMain(args []string, stdout, stderr io.Writer) int {
 	fs := newFlagSet("gridworker", stderr)
 	hb := fs.Duration("hb", 2*time.Second, "heartbeat interval while a job is running")
+	listen := fs.String("listen", "", "serve the gridworker protocol on this TCP address (host:port) instead of stdin/stdout")
 	workers := workersFlag(fs)
 	list, describe := listingFlags(fs)
 	if ok, code := parse(fs, args); !ok {
@@ -43,6 +75,11 @@ func GridworkerMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if handled, code := listing(*list, *describe, resolveWorkers(*workers), stdout, stderr); handled {
 		return code
+	}
+	if *listen != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return gridworkerListen(ctx, *listen, *hb, stdout, stderr)
 	}
 	return gridworkerRun(stderr, *hb)
 }

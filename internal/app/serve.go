@@ -87,22 +87,26 @@ func serveMain(ctx context.Context, args []string, stdout, stderr io.Writer) int
 		return 2
 	}
 
+	var pprofSrvr *http.Server
 	if *pprofSrv != "" {
 		// The profiler gets its own mux and listener: the daemon's handler
-		// never exposes /debug/pprof, and the default is fully off.
+		// never exposes /debug/pprof, and the default is fully off. The
+		// server is closed with the daemon on SIGTERM/drain — it must not
+		// outlive the main listener.
 		pln, err := net.Listen("tcp", *pprofSrv)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		defer pln.Close()
 		pmux := http.NewServeMux()
 		pmux.HandleFunc("/debug/pprof/", pprof.Index)
 		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		go func() { _ = (&http.Server{Handler: pmux}).Serve(pln) }()
+		pprofSrvr = &http.Server{Handler: pmux}
+		defer pprofSrvr.Close()
+		go func() { _ = pprofSrvr.Serve(pln) }()
 		fmt.Fprintf(stdout, "serve: pprof on http://%s/debug/pprof/\n", pln.Addr())
 	}
 
@@ -129,6 +133,9 @@ func serveMain(ctx context.Context, args []string, stdout, stderr io.Writer) int
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(sctx)
+		if pprofSrvr != nil {
+			_ = pprofSrvr.Close()
+		}
 	}()
 	if err := httpSrv.Serve(ln); err != http.ErrServerClosed {
 		fmt.Fprintln(stderr, err)

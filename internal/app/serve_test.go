@@ -150,6 +150,12 @@ func TestServeMainPprof(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon did not exit after cancellation")
 	}
+
+	// The profiler listener must die with the daemon, not linger for the
+	// process lifetime.
+	if _, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", addr)); err == nil {
+		t.Fatal("pprof listener still answering after daemon shutdown")
+	}
 }
 
 // TestServeMainUsageErrors pins the exit codes of the flag layer.

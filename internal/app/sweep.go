@@ -4,14 +4,29 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"reqsched/internal/adversary"
+	"reqsched/internal/grid/chaos"
 	"reqsched/internal/ratio"
 	"reqsched/internal/registry"
 	"reqsched/internal/runner"
 )
+
+// splitAddrs parses the -workers-at flag: a comma-separated address list,
+// blanks trimmed and dropped.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
 
 // iv and fv build registry parameter values from plain Go numbers — the
 // record-building shorthand of the frontends.
@@ -48,6 +63,8 @@ func SweepMain(args []string, stdout, stderr io.Writer) int {
 	workerCmd := fs.String("worker-cmd", "", "gridworker command (default: re-exec this binary with -gridworker)")
 	jobTimeout := fs.Duration("job-timeout", 5*time.Minute, "per-cell wall-clock deadline (sharded mode)")
 	retries := fs.Int("retries", 3, "retry budget per cell before it is marked failed (sharded mode)")
+	workersAt := fs.String("workers-at", "", "comma-separated TCP gridworker addresses (host:port,...); runs the cells remotely")
+	linkChaos := fs.String("link-chaos", "", "deterministic link fault mode:K[@link] (requires -workers-at; default $"+chaos.EnvLink+")")
 	gridworker := fs.Bool("gridworker", false, "internal: speak the gridworker protocol on stdin/stdout")
 	list, describe := listingFlags(fs)
 	if ok, code := parse(fs, args); !ok {
@@ -61,6 +78,20 @@ func SweepMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if *resume && *journalPath == "" {
 		fmt.Fprintln(stderr, "sweep: -resume requires -journal")
+		return 2
+	}
+	addrs := splitAddrs(*workersAt)
+	linkSpec := *linkChaos
+	if linkSpec == "" {
+		linkSpec = os.Getenv(chaos.EnvLink)
+	}
+	linkFault, err := chaos.ParseLink(linkSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
+		return 2
+	}
+	if linkFault != nil && len(addrs) == 0 {
+		fmt.Fprintln(stderr, "sweep: -link-chaos requires -workers-at")
 		return 2
 	}
 
@@ -96,6 +127,8 @@ func SweepMain(args []string, stdout, stderr io.Writer) int {
 		WorkerCmd:   cmd,
 		JobTimeout:  *jobTimeout,
 		Retries:     *retries,
+		WorkersAt:   addrs,
+		LinkFault:   linkFault,
 		Signals:     true,
 		Log:         stderr,
 	})

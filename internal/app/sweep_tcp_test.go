@@ -1,0 +1,72 @@
+package app
+
+import (
+	"context"
+	"io"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"reqsched/internal/grid"
+)
+
+// startTCPWorkers boots n in-process TCP gridworkers (stopped on cleanup)
+// and returns the comma-joined address list the -workers-at flag takes.
+func startTCPWorkers(t *testing.T, n int) string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			grid.ServeWorker(ctx, ln, 20*time.Millisecond, nil, io.Discard)
+		}()
+		t.Cleanup(func() {
+			cancel()
+			<-done
+		})
+	}
+	return strings.Join(addrs, ",")
+}
+
+// TestSweepWorkersAtGolden pins the network path of the sweep: two TCP
+// gridworkers must produce byte-identical CSV to the plain in-process run —
+// clean, under an injected link fault, and across a journal + resume cycle.
+func TestSweepWorkersAtGolden(t *testing.T) {
+	workers := startTCPWorkers(t, 2)
+
+	args := []string{"-mode", "l", "-workers-at", workers}
+	requireGolden(t, "sweep_l.csv", run(t, SweepMain, args...), args...)
+
+	args = []string{"-mode", "l", "-workers-at", workers, "-link-chaos", "drop:2"}
+	requireGolden(t, "sweep_l.csv", run(t, SweepMain, args...), args...)
+
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	args = []string{"-mode", "l", "-workers-at", workers, "-journal", path, "-link-chaos", "trunc:1"}
+	requireGolden(t, "sweep_l.csv", run(t, SweepMain, args...), args...)
+	args = []string{"-mode", "l", "-workers-at", workers, "-journal", path, "-resume"}
+	requireGolden(t, "sweep_l.csv", run(t, SweepMain, args...), args...)
+}
+
+func TestSweepLinkChaosUsageErrors(t *testing.T) {
+	workers := startTCPWorkers(t, 1)
+	if _, code := runCode(t, SweepMain, "-workers-at", workers, "-link-chaos", "bogus:1"); code != 2 {
+		t.Errorf("unknown link fault mode: exit %d, want 2", code)
+	}
+	if _, code := runCode(t, SweepMain, "-link-chaos", "drop:1"); code != 2 {
+		t.Errorf("-link-chaos without -workers-at: exit %d, want 2", code)
+	}
+	// The env fallback must reject a bad spec just as loudly.
+	t.Setenv("GRID_CHAOS_LINK", "bogus:1")
+	if _, code := runCode(t, SweepMain, "-workers-at", workers, "-mode", "l"); code != 2 {
+		t.Errorf("bad GRID_CHAOS_LINK: exit %d, want 2", code)
+	}
+}

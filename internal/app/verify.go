@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"reqsched"
@@ -261,6 +263,11 @@ func VerifyMain(args []string, stdout, stderr io.Writer) int {
 	// machinery behind cmd/sweep -shard/-journal/-resume.
 	gridChecks(add, w)
 
+	// 5a. Network grid: the TCP transport behind `sweep -workers-at` —
+	// bit-identical to the plain run, clean journals under an injected link
+	// fault, and crash-consistent resume after a supervisor kill mid-protocol.
+	gridTCPChecks(add, w)
+
 	// 6. Optional toolchain gates.
 	if *tools {
 		cmds := [][]string{
@@ -456,4 +463,163 @@ func gridChecks(add func(name string, ok bool, format string, args ...interface{
 		retried = rep.Retried
 	}
 	add("grid: chaos-killed worker retried", ok, "%d retried, err=%v", retried, err)
+}
+
+// gridTCPChecks exercises the network transport end to end against
+// in-process TCP gridworkers: a clean remote run matching the plain pool, a
+// remote run with an injected link fault whose journal stays one verified
+// record per cell, and a supervisor killed mid-protocol whose resumed journal
+// is a permutation of the uninterrupted run's.
+func gridTCPChecks(add func(name string, ok bool, format string, args ...interface{}), workers int) {
+	specs := []grid.Spec{
+		{Strategy: "A_fix", Build: grid.BuildSpec{Kind: "fix", D: 4, Phases: 8}},
+		{Strategy: "A_eager", Build: grid.BuildSpec{Kind: "eager", D: 4, Phases: 8}},
+		{Strategy: "A_current", Build: grid.BuildSpec{Kind: "current", L: 2, Phases: 2}},
+		{Strategy: "EDF", Build: grid.BuildSpec{Kind: "uniform", N: 4, D: 3, Rounds: 30, Rate: 5, Seed: 3}},
+	}
+	jobs, err := grid.BuildManifest(specs, []string{"fix/d=4", "eager/d=4", "current/l=2", "edf/uniform"})
+	if err != nil {
+		add("grid: TCP manifest", false, "%v", err)
+		return
+	}
+	want := reqsched.MeasureParallel(grid.RatioJobs(jobs), workers)
+	same := func(ms []reqsched.Measurement) bool {
+		if len(ms) != len(want) {
+			return false
+		}
+		for i := range want {
+			if ms[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	dir, err := os.MkdirTemp("", "verify-grid-tcp")
+	if err != nil {
+		add("grid: TCP tempdir", false, "%v", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	// Two in-process TCP gridworkers for the whole check block.
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	addrs := make([]string, 2)
+	for i := range addrs {
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			add("grid: TCP listen", false, "%v", lerr)
+			return
+		}
+		addrs[i] = ln.Addr().String()
+		go grid.ServeWorker(wctx, ln, 20*time.Millisecond, nil, io.Discard)
+	}
+	tcpOpts := func(link *chaos.LinkFaults) grid.Options {
+		return grid.Options{
+			Transport: &grid.TCPTransport{
+				Addrs: addrs, Link: link,
+				BackoffBase: 5 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+			},
+			JobTimeout:  time.Minute,
+			BackoffBase: 5 * time.Millisecond,
+			BackoffMax:  50 * time.Millisecond,
+		}
+	}
+	journalRecords := func(path string) (map[string]grid.Record, error) {
+		f, rerr := os.Open(path)
+		if rerr != nil {
+			return nil, rerr
+		}
+		defer f.Close()
+		recs, scan, rerr := grid.ReadJournal(f)
+		if rerr != nil {
+			return nil, rerr
+		}
+		if scan.Skipped > 0 || scan.TornOffset >= 0 {
+			return nil, fmt.Errorf("journal damaged: %+v", scan)
+		}
+		byID := make(map[string]grid.Record, len(recs))
+		for _, r := range recs {
+			if verr := r.Verify(); verr != nil {
+				return nil, verr
+			}
+			byID[r.ID] = r
+		}
+		if len(byID) != len(recs) {
+			return nil, fmt.Errorf("journal holds duplicate records (%d lines, %d cells)", len(recs), len(byID))
+		}
+		return byID, nil
+	}
+
+	// Clean remote run.
+	rep, err := grid.Run(context.Background(), jobs, tcpOpts(nil))
+	ok := err == nil && rep.AllDone() && len(rep.LostHosts) == 0 && same(rep.Measurements)
+	add("grid: TCP transport matches plain", ok, "%d cells on %d workers, err=%v", len(jobs), len(addrs), err)
+
+	// Link fault: the connection drops at protocol message 2; the grid must
+	// complete with a journal of exactly one verified record per cell.
+	path := filepath.Join(dir, "link.jsonl")
+	j, done, _, err := grid.OpenJournal(path, false)
+	ok = err == nil
+	if ok {
+		opts := tcpOpts(&chaos.LinkFaults{Mode: chaos.LinkDrop, Msg: 2})
+		opts.Journal = j
+		opts.Done = done
+		rep, err = grid.Run(context.Background(), jobs, opts)
+		j.Close()
+		ok = err == nil && rep.AllDone() && same(rep.Measurements)
+		if ok {
+			byID, jerr := journalRecords(path)
+			ok = jerr == nil && len(byID) == len(jobs)
+			if jerr != nil {
+				err = jerr
+			}
+		}
+	}
+	add("grid: TCP link fault journals clean", ok, "drop at msg 2, err=%v", err)
+
+	// Supervisor killed mid-protocol, then resumed: the final journal must
+	// hold the same records an uninterrupted run journals.
+	path = filepath.Join(dir, "kill.jsonl")
+	j, done, _, err = grid.OpenJournal(path, false)
+	ok = err == nil
+	if ok {
+		ctx, cancel := context.WithCancel(context.Background())
+		var msgs int64
+		opts := tcpOpts(nil)
+		opts.Transport.(*grid.TCPTransport).MsgHook = func(string, int) {
+			if atomic.AddInt64(&msgs, 1) == 5 {
+				cancel()
+			}
+		}
+		opts.Journal = j
+		opts.Done = done
+		grid.Run(ctx, jobs, opts)
+		j.Close()
+		cancel()
+		var j2 *grid.Journal
+		var done2 map[string]grid.Record
+		j2, done2, _, err = grid.OpenJournal(path, true)
+		ok = err == nil
+		if ok {
+			rep, err = grid.Run(context.Background(), jobs, tcpOptsWithJournal(tcpOpts(nil), j2, done2))
+			j2.Close()
+			ok = err == nil && rep.AllDone() && same(rep.Measurements)
+			if ok {
+				byID, jerr := journalRecords(path)
+				ok = jerr == nil && len(byID) == len(jobs)
+				if jerr != nil {
+					err = jerr
+				}
+			}
+		}
+	}
+	add("grid: TCP supervisor kill + resume", ok, "killed at msg 5, err=%v", err)
+}
+
+func tcpOptsWithJournal(o grid.Options, j *grid.Journal, done map[string]grid.Record) grid.Options {
+	o.Journal = j
+	o.Done = done
+	return o
 }

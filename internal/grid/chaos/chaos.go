@@ -1,8 +1,10 @@
-// Package chaos is the deterministic fault-injection layer of the grid
-// worker: a worker process can be armed — via environment variables, so the
+// Package chaos is the deterministic fault-injection layer of the grid:
+// a worker process can be armed — via environment variables, so the
 // supervisor's spawn path is exercised unchanged — to die, hang, or emit a
-// corrupt record at a fixed job index. Faults are deterministic (they fire at
-// an exact job count, never at random) so property tests can enumerate every
+// corrupt record at a fixed job index, and a network transport can be armed
+// to drop, stall, truncate, or partition a worker link at a fixed protocol
+// message index. Faults are deterministic (they fire at an exact job or
+// message count, never at random) so property tests can enumerate every
 // single-fault schedule and prove each one still yields the clean grid.
 package chaos
 
@@ -25,6 +27,12 @@ const (
 	// every respawned process — the "fault persists until the retry budget is
 	// exhausted" schedule.
 	EnvOnce = "GRID_CHAOS_ONCE"
+	// EnvLink holds the supervisor-side transport link fault spec:
+	// "mode:K[@link]", where mode is one of LinkDrop/LinkStall/LinkTrunc/
+	// LinkPartition, K is the 0-based index of the protocol message the fault
+	// fires at, and link is the 0-based worker address the fault is pinned to
+	// (default 0). Empty or unset: no link faults.
+	EnvLink = "GRID_CHAOS_LINK"
 )
 
 // Fault modes.
@@ -38,6 +46,27 @@ const (
 	// Corrupt returns the job's record with the measurement tampered after
 	// sealing: the supervisor's digest check must reject it.
 	Corrupt = "corrupt"
+)
+
+// Link fault modes, injected at the supervisor's network transport. A link
+// fault fires at most once per transport, so every armed schedule is a
+// single-fault schedule.
+const (
+	// LinkDrop closes the connection at message k, as if the peer reset it:
+	// the supervisor sees the stream end mid-job and retries.
+	LinkDrop = "drop"
+	// LinkStall silences the link at message k without closing it: messages
+	// vanish in both directions while the connection looks healthy, so the
+	// heartbeat liveness timeout must reap the slot.
+	LinkStall = "stall"
+	// LinkTrunc delivers only half of message k and then closes the
+	// connection — a peer dying mid-write. Whichever side reads the torn
+	// line must treat it as a dead peer, never as a parseable record.
+	LinkTrunc = "trunc"
+	// LinkPartition closes the connection at message k and makes every
+	// further dial to that host fail: the host has disappeared. Its in-flight
+	// jobs return to the queue and the sweep completes on surviving workers.
+	LinkPartition = "partition"
 )
 
 // Faults is one worker process's armed fault plan. The zero value (or a nil
@@ -59,7 +88,7 @@ func Parse(spec, oncePath string) (*Faults, error) {
 		return nil, fmt.Errorf("chaos: spec %q is not mode:N", spec)
 	}
 	if mode != Kill && mode != Stall && mode != Corrupt {
-		return nil, fmt.Errorf("chaos: unknown fault mode %q", mode)
+		return nil, fmt.Errorf("chaos: unknown fault mode %q (valid: %s, %s, %s)", mode, Kill, Stall, Corrupt)
 	}
 	n, err := strconv.Atoi(at)
 	if err != nil || n < 0 {
@@ -91,6 +120,55 @@ func (f *Faults) fires(mode string, jobIndex int) bool {
 
 // KillAt reports whether the process should die before answering job i.
 func (f *Faults) KillAt(i int) bool { return f.fires(Kill, i) }
+
+// LinkFaults is one armed transport link fault plan: Mode fires when protocol
+// message number Msg (0-based, counted per link across reconnects) crosses
+// the link to worker address number Link. The transport disarms the plan
+// after one firing, except LinkPartition, which is permanent by nature. A nil
+// plan injects nothing.
+type LinkFaults struct {
+	Mode string
+	Msg  int
+	Link int
+}
+
+// ParseLink builds a link fault plan from a spec string "mode:K[@link]". An
+// empty spec (or the literal "none", for CI matrix convenience) returns nil.
+// Unknown modes and malformed indices are errors naming the bad part — a
+// misspelled fault must never be silently ignored.
+func ParseLink(spec string) (*LinkFaults, error) {
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	mode, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("chaos: link spec %q is not mode:K[@link]", spec)
+	}
+	switch mode {
+	case LinkDrop, LinkStall, LinkTrunc, LinkPartition:
+	default:
+		return nil, fmt.Errorf("chaos: unknown link fault mode %q (valid: %s, %s, %s, %s)",
+			mode, LinkDrop, LinkStall, LinkTrunc, LinkPartition)
+	}
+	at, linkStr, hasLink := strings.Cut(rest, "@")
+	k, err := strconv.Atoi(at)
+	if err != nil || k < 0 {
+		return nil, fmt.Errorf("chaos: bad link message index %q", at)
+	}
+	link := 0
+	if hasLink {
+		link, err = strconv.Atoi(linkStr)
+		if err != nil || link < 0 {
+			return nil, fmt.Errorf("chaos: bad link number %q", linkStr)
+		}
+	}
+	return &LinkFaults{Mode: mode, Msg: k, Link: link}, nil
+}
+
+// LinkFromEnv builds the plan armed via EnvLink.
+func LinkFromEnv() (*LinkFaults, error) {
+	return ParseLink(os.Getenv(EnvLink))
+}
 
 // StallAt reports whether the process should hang on job i.
 func (f *Faults) StallAt(i int) bool { return f.fires(Stall, i) }

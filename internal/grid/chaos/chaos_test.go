@@ -1,0 +1,96 @@
+package chaos
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseRejectsUnknownMode(t *testing.T) {
+	// An unknown fault mode must be a hard error naming the bad mode — a
+	// misspelled chaos spec that silently injects nothing would make a
+	// passing chaos suite meaningless.
+	for _, spec := range []string{"explode:3", "Kill:1", "kil:0"} {
+		f, err := Parse(spec, "")
+		if err == nil || f != nil {
+			t.Fatalf("Parse(%q) = %v, %v; want error", spec, f, err)
+		}
+		mode, _, _ := strings.Cut(spec, ":")
+		if !strings.Contains(err.Error(), mode) {
+			t.Fatalf("Parse(%q) error does not name the bad mode: %v", spec, err)
+		}
+		if !strings.Contains(err.Error(), Kill) {
+			t.Fatalf("Parse(%q) error does not list the valid modes: %v", spec, err)
+		}
+	}
+}
+
+func TestParseRejectsBadIndexAndShape(t *testing.T) {
+	for _, spec := range []string{"kill", "kill:", "kill:x", "kill:-1"} {
+		if _, err := Parse(spec, ""); err == nil {
+			t.Fatalf("Parse(%q) accepted a malformed spec", spec)
+		}
+	}
+	f, err := Parse("stall:2", "")
+	if err != nil || f == nil || !f.StallAt(2) || f.StallAt(1) || f.KillAt(2) {
+		t.Fatalf("Parse(stall:2) = %+v, %v", f, err)
+	}
+}
+
+func TestFromEnvPropagatesErrors(t *testing.T) {
+	t.Setenv(EnvSpec, "frobnicate:1")
+	if _, err := FromEnv(); err == nil || !strings.Contains(err.Error(), "frobnicate") {
+		t.Fatalf("FromEnv with unknown mode: err=%v, want error naming it", err)
+	}
+	t.Setenv(EnvSpec, "")
+	if f, err := FromEnv(); err != nil || f != nil {
+		t.Fatalf("FromEnv empty: %+v, %v", f, err)
+	}
+}
+
+func TestParseLink(t *testing.T) {
+	for _, spec := range []string{"", "none"} {
+		if f, err := ParseLink(spec); err != nil || f != nil {
+			t.Fatalf("ParseLink(%q) = %+v, %v; want nil, nil", spec, f, err)
+		}
+	}
+	f, err := ParseLink("drop:5")
+	if err != nil || f.Mode != LinkDrop || f.Msg != 5 || f.Link != 0 {
+		t.Fatalf("ParseLink(drop:5) = %+v, %v", f, err)
+	}
+	f, err = ParseLink("partition:3@1")
+	if err != nil || f.Mode != LinkPartition || f.Msg != 3 || f.Link != 1 {
+		t.Fatalf("ParseLink(partition:3@1) = %+v, %v", f, err)
+	}
+}
+
+func TestParseLinkRejectsUnknownMode(t *testing.T) {
+	for _, spec := range []string{"sever:1", "drop", "drop:x", "drop:-1", "drop:1@x", "drop:1@-2"} {
+		if _, err := ParseLink(spec); err == nil {
+			t.Fatalf("ParseLink(%q) accepted a malformed spec", spec)
+		}
+	}
+	_, err := ParseLink("sever:1")
+	if !strings.Contains(err.Error(), "sever") || !strings.Contains(err.Error(), LinkPartition) {
+		t.Fatalf("ParseLink(sever:1) error must name the bad mode and the valid ones: %v", err)
+	}
+	t.Setenv(EnvLink, "sever:1")
+	if _, err := LinkFromEnv(); err == nil {
+		t.Fatal("LinkFromEnv with unknown mode must error")
+	}
+}
+
+func TestOnceFileClaimedAcrossPlans(t *testing.T) {
+	once := filepath.Join(t.TempDir(), "fired")
+	a, err := Parse("kill:0", once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.KillAt(0) {
+		t.Fatal("first firing should claim the once-file and fire")
+	}
+	b, _ := Parse("kill:0", once)
+	if b.KillAt(0) {
+		t.Fatal("second plan found the once-file claimed and must not fire")
+	}
+}

@@ -105,6 +105,39 @@ func supervisorOpts(t *testing.T, workers int, env ...string) grid.Options {
 	}
 }
 
+// TestOptionsValidate pins that option values which would silently misbehave
+// (negative timers arming degenerate timeouts, the old negative-Retries
+// sentinel) are rejected up front with errors naming the bad field.
+func TestOptionsValidate(t *testing.T) {
+	jobs := testManifest(t)
+	cases := []struct {
+		name   string
+		mutate func(*grid.Options)
+		want   string
+	}{
+		{"negative job timeout", func(o *grid.Options) { o.JobTimeout = -time.Second }, "JobTimeout"},
+		{"negative heartbeat", func(o *grid.Options) { o.Heartbeat = -time.Second }, "Heartbeat"},
+		{"negative backoff base", func(o *grid.Options) { o.BackoffBase = -time.Second }, "BackoffBase"},
+		{"negative backoff max", func(o *grid.Options) { o.BackoffMax = -time.Second }, "BackoffMax"},
+		{"inverted backoff", func(o *grid.Options) { o.BackoffBase = time.Second; o.BackoffMax = time.Millisecond }, "BackoffMax"},
+		{"negative retries", func(o *grid.Options) { o.Retries = -1 }, "retry budget"},
+	}
+	for _, c := range cases {
+		opts := supervisorOpts(t, 1)
+		c.mutate(&opts)
+		if err := opts.Validate(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: Validate() = %v, want error naming %s", c.name, err, c.want)
+		}
+		if _, err := grid.Run(context.Background(), jobs, opts); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: Run accepted bad options (err %v)", c.name, err)
+		}
+	}
+	// Zero everywhere stays the documented "use the default".
+	if err := (&grid.Options{}).Validate(); err != nil {
+		t.Errorf("zero options must validate: %v", err)
+	}
+}
+
 func TestSupervisorMatchesInProcess(t *testing.T) {
 	jobs := testManifest(t)
 	want := cleanMeasurements(t, jobs)
@@ -228,7 +261,7 @@ func TestChaosPersistentCorruption(t *testing.T) {
 	jobs := testManifest(t)
 	want := cleanMeasurements(t, jobs)
 	opts := supervisorOpts(t, 1, chaos.EnvSpec+"=corrupt:2")
-	opts.Retries = -1 // no retries: fail fast
+	opts.NoRetries = true // fail fast
 	rep, err := grid.Run(context.Background(), jobs, opts)
 	if err != nil {
 		t.Fatal(err)

@@ -9,15 +9,22 @@
 //   - an append-only JSONL checkpoint journal (Journal) with per-record
 //     digests and torn-write detection, so an interrupted sweep resumes
 //     bit-identically;
-//   - a supervisor (Run) that spawns gridworker subprocesses speaking a JSONL
-//     stdin/stdout protocol, with per-job wall-clock deadlines, heartbeat
-//     liveness, exponential backoff with seeded jitter, a bounded retry
-//     budget, and supervisor-side re-verification of every returned record;
+//   - a supervisor (Run) that drives gridworkers over a pluggable Transport —
+//     subprocess pipes (PipeTransport) or TCP to remote hosts (TCPTransport,
+//     with a versioned handshake, deadlines, backoff redial, and host-loss
+//     requeueing) — speaking one JSONL protocol, with per-job wall-clock
+//     deadlines, heartbeat liveness, exponential backoff with seeded jitter,
+//     a bounded retry budget, at-most-once record acceptance, and
+//     supervisor-side re-verification of every returned record;
+//   - the worker side of both transports: WorkerMain (one pipe/connection)
+//     and ServeWorker (the TCP accept loop behind `gridworker -listen`);
 //   - an in-process runner (RunLocal) sharing the journal/resume semantics
 //     but executing on the ratio worker pool — the -shard 0 path;
 //   - a deterministic chaos layer (subpackage chaos) injecting kill, stall,
-//     and corrupt-record faults at fixed job indices, used by the property
-//     tests proving single-fault schedules reproduce the clean grid.
+//     and corrupt-record process faults at fixed job indices plus
+//     drop/stall/trunc/partition link faults at fixed protocol message
+//     indices, used by the property tests proving single-fault schedules
+//     reproduce the clean grid.
 package grid
 
 import (

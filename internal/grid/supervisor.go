@@ -1,15 +1,11 @@
 package grid
 
 import (
-	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand"
-	"os"
-	"os/exec"
 	"sort"
 	"strings"
 	"sync"
@@ -18,12 +14,18 @@ import (
 	"reqsched/internal/ratio"
 )
 
-// Options configures the subprocess supervisor.
+// Options configures the grid supervisor.
 type Options struct {
-	// Workers is the number of worker subprocesses (<= 0: 1).
+	// Workers is the number of worker slots (<= 0: 1). Ignored when the
+	// Transport pins its own slot count (the TCP transport runs one slot per
+	// worker address).
 	Workers int
-	// WorkerCmd is the argv spawning one worker (required). The worker must
-	// speak the gridworker JSONL protocol on stdin/stdout.
+	// Transport hands the supervisor worker connections. Nil selects the
+	// pipe transport built from WorkerCmd/WorkerEnv.
+	Transport Transport
+	// WorkerCmd is the argv spawning one worker (required when Transport is
+	// nil). The worker must speak the gridworker JSONL protocol on
+	// stdin/stdout.
 	WorkerCmd []string
 	// WorkerEnv is appended to the inherited environment of each worker.
 	WorkerEnv []string
@@ -39,9 +41,12 @@ type Options struct {
 	// interval.
 	Heartbeat time.Duration
 	// Retries is how many times a failed cell is re-attempted after its
-	// first failure before being marked failed (0: default 3; negative:
-	// no retries).
+	// first failure before being marked failed (0: default 3). Negative
+	// budgets are rejected by Validate; set NoRetries for a true zero budget.
 	Retries int
+	// NoRetries disables re-attempts entirely: every cell gets exactly one
+	// try. It exists because Retries == 0 selects the default budget.
+	NoRetries bool
 	// BackoffBase and BackoffMax shape the exponential retry backoff
 	// (defaults 100ms and 5s); Seed seeds its jitter.
 	BackoffBase time.Duration
@@ -49,6 +54,33 @@ type Options struct {
 	Seed        int64
 	// Log receives worker stderr and supervisor diagnostics (nil: discard).
 	Log io.Writer
+}
+
+// Validate rejects option values that would silently misbehave — negative
+// durations arm timers that fire immediately (or never), and a negative retry
+// budget used to be a hidden "no retries" sentinel. Zero always means "use
+// the default" and stays valid.
+func (o *Options) Validate() error {
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"JobTimeout", o.JobTimeout},
+		{"Heartbeat", o.Heartbeat},
+		{"BackoffBase", o.BackoffBase},
+		{"BackoffMax", o.BackoffMax},
+	} {
+		if d.v < 0 {
+			return fmt.Errorf("grid: negative %s %s (zero selects the default)", d.name, d.v)
+		}
+	}
+	if o.BackoffBase > 0 && o.BackoffMax > 0 && o.BackoffMax < o.BackoffBase {
+		return fmt.Errorf("grid: BackoffMax %s below BackoffBase %s", o.BackoffMax, o.BackoffBase)
+	}
+	if o.Retries < 0 {
+		return fmt.Errorf("grid: negative retry budget %d (set NoRetries for a zero budget)", o.Retries)
+	}
+	return nil
 }
 
 func (o *Options) withDefaults() Options {
@@ -62,9 +94,10 @@ func (o *Options) withDefaults() Options {
 	if out.Heartbeat <= 0 {
 		out.Heartbeat = 15 * time.Second
 	}
-	if out.Retries < 0 {
+	switch {
+	case out.NoRetries || out.Retries < 0:
 		out.Retries = 0
-	} else if out.Retries == 0 {
+	case out.Retries == 0:
 		out.Retries = 3
 	}
 	if out.BackoffBase <= 0 {
@@ -100,7 +133,14 @@ type Report struct {
 	// re-running; Retried counts re-attempts after failures.
 	FromJournal int
 	Retried     int
-	Failures    []Failure
+	// Duplicates counts stale records discarded by at-most-once acceptance:
+	// a retried job whose first attempt's record surfaces late is counted
+	// here, never journaled twice.
+	Duplicates int
+	// LostHosts names worker hosts (sorted) that disappeared mid-run; their
+	// in-flight cells were requeued onto survivors.
+	LostHosts []string
+	Failures  []Failure
 }
 
 // AllDone reports whether every cell completed.
@@ -126,6 +166,9 @@ func (r *Report) FailureReport() string {
 			name = f.ID
 		}
 		fmt.Fprintf(&b, "  cell %d (%s): %d attempts, last error: %s\n", f.Index, name, f.Attempts, f.Err)
+	}
+	if len(r.LostHosts) > 0 {
+		fmt.Fprintf(&b, "  lost worker hosts: %s\n", strings.Join(r.LostHosts, ", "))
 	}
 	return b.String()
 }
@@ -157,106 +200,33 @@ func fold(jobs []Job, done map[string]Record) (*Report, []int, error) {
 	return rep, pending, nil
 }
 
-// procLine is one parsed worker stdout line, or the read error that ended
-// the stream.
-type procLine struct {
-	out workerOut
-	err error
-}
-
-// proc is one live worker subprocess.
-type proc struct {
-	cmd   *exec.Cmd
-	stdin io.WriteCloser
-	lines chan procLine
-}
-
-func spawnWorker(o *Options) (*proc, error) {
-	if len(o.WorkerCmd) == 0 {
-		return nil, errors.New("grid: no worker command configured")
-	}
-	cmd := exec.Command(o.WorkerCmd[0], o.WorkerCmd[1:]...)
-	cmd.Env = append(os.Environ(), o.WorkerEnv...)
-	stdin, err := cmd.StdinPipe()
-	if err != nil {
-		return nil, err
-	}
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		return nil, err
-	}
-	cmd.Stderr = o.Log
-	if err := cmd.Start(); err != nil {
-		return nil, fmt.Errorf("grid: spawn worker: %w", err)
-	}
-	p := &proc{cmd: cmd, stdin: stdin, lines: make(chan procLine, 4)}
-	go func() {
-		defer close(p.lines)
-		sc := bufio.NewScanner(stdout)
-		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-		for sc.Scan() {
-			var out workerOut
-			if err := json.Unmarshal(sc.Bytes(), &out); err != nil {
-				// A worker emitting unparseable lines is sick: report and
-				// stop reading; the supervisor reaps and respawns.
-				p.lines <- procLine{err: fmt.Errorf("unparseable worker line: %w", err)}
-				return
-			}
-			p.lines <- procLine{out: out}
-		}
-		if err := sc.Err(); err != nil {
-			p.lines <- procLine{err: err}
-		}
-	}()
-	return p, nil
-}
-
-// send writes one job line to the worker.
-func (p *proc) send(job Job) error {
-	line, err := json.Marshal(workerIn{Job: &job})
-	if err != nil {
-		return err
-	}
-	_, err = p.stdin.Write(append(line, '\n'))
-	return err
-}
-
-// kill tears the worker down and reaps it.
-func (p *proc) kill() {
-	p.stdin.Close()
-	if p.cmd.Process != nil {
-		p.cmd.Process.Kill()
-	}
-	p.cmd.Wait()
-	// Drain the reader goroutine so it can exit.
-	for range p.lines {
-	}
-}
-
-// slot is one supervisor worker slot: it owns at most one live subprocess
-// and replaces it after any failure (a worker that timed out, died, or
-// returned a bad record is never trusted with another job).
+// slot is one supervisor worker slot: it owns at most one live worker
+// connection and replaces it after any failure (a worker that timed out,
+// died, or returned a bad record is never trusted with another job).
 type slot struct {
-	opts *Options
-	p    *proc
+	opts  *Options
+	tr    Transport
+	idx   int
+	isDup func(id string) bool
+	c     WorkerConn
 }
 
-func (s *slot) ensure() error {
-	if s.p != nil {
+func (s *slot) ensure(ctx context.Context) error {
+	if s.c != nil {
 		return nil
 	}
-	p, err := spawnWorker(s.opts)
+	c, err := s.tr.Dial(ctx, s.idx)
 	if err != nil {
 		return err
 	}
-	s.p = p
+	s.c = c
 	return nil
 }
 
 func (s *slot) recycle() {
-	if s.p != nil {
-		s.p.kill()
-		s.p = nil
+	if s.c != nil {
+		s.c.Close()
+		s.c = nil
 	}
 }
 
@@ -275,10 +245,10 @@ func resetTimer(t *time.Timer, d time.Duration) {
 // deadline and heartbeat liveness, and re-verifying the returned record
 // (digest + OPT/ALG invariants) before trusting it.
 func (s *slot) attempt(ctx context.Context, job Job) (Record, error) {
-	if err := s.ensure(); err != nil {
+	if err := s.ensure(ctx); err != nil {
 		return Record{}, err
 	}
-	if err := s.p.send(job); err != nil {
+	if err := s.c.Send(job); err != nil {
 		return Record{}, fmt.Errorf("send job: %w", err)
 	}
 	deadline := time.NewTimer(s.opts.JobTimeout)
@@ -289,7 +259,7 @@ func (s *slot) attempt(ctx context.Context, job Job) (Record, error) {
 		select {
 		case <-ctx.Done():
 			return Record{}, ctx.Err()
-		case pl, ok := <-s.p.lines:
+		case pl, ok := <-s.c.Lines():
 			if !ok {
 				return Record{}, errors.New("worker exited mid-job")
 			}
@@ -312,6 +282,13 @@ func (s *slot) attempt(ctx context.Context, job Job) (Record, error) {
 			case out.Result != nil:
 				rec := *out.Result
 				if rec.ID != job.ID {
+					// At-most-once acceptance: a record for a job the grid
+					// already accepted is a late duplicate (a retried job's
+					// first attempt surfacing) — discard it and keep waiting
+					// for ours. A record for an unknown job is a sick worker.
+					if s.isDup != nil && s.isDup(rec.ID) {
+						continue
+					}
 					return Record{}, fmt.Errorf("result for wrong job %s (want %s)", rec.ID, job.ID)
 				}
 				if err := rec.Verify(); err != nil {
@@ -329,9 +306,11 @@ func (s *slot) attempt(ctx context.Context, job Job) (Record, error) {
 
 // runJob drives one job through the retry loop: exponential backoff with
 // jitter between attempts, a fresh worker after every failure, and a bounded
-// budget after which the cell is marked failed. It returns the verified
-// record, the number of attempts made, and the last error if the budget ran
-// out.
+// budget after which the cell is marked failed. A *HostLost error short-
+// circuits the loop unretried — the host is gone for good, so the caller must
+// requeue the job onto a surviving slot instead of burning its budget here.
+// It returns the verified record, the number of attempts made, and the last
+// error if the budget ran out.
 func (s *slot) runJob(ctx context.Context, job Job, backoff func(attempt int) time.Duration) (Record, int, error) {
 	var lastErr error
 	for attempt := 0; attempt <= s.opts.Retries; attempt++ {
@@ -351,22 +330,31 @@ func (s *slot) runJob(ctx context.Context, job Job, backoff func(attempt int) ti
 		if err == nil {
 			return rec, attempt + 1, nil
 		}
-		lastErr = err
 		s.recycle()
+		var hl *HostLost
+		if errors.As(err, &hl) {
+			return Record{}, attempt, err
+		}
+		lastErr = err
 	}
 	return Record{}, s.opts.Retries + 1, lastErr
 }
 
-// Run executes the manifest on a pool of worker subprocesses, journaling
-// every verified record as it completes. Cells already present (and
-// verifiable) in opts.Done are folded without re-running, which is what
-// makes an interrupted grid resume bit-identically. Cancellation stops
-// dispatching and returns ctx's error with the partial report — everything
-// already journaled survives. Cells that exhaust their retry budget appear
-// in Report.Failures; Run only returns a non-ctx error for infrastructure
-// failures (unspawnable workers with nothing completed, journal write
-// errors).
+// Run executes the manifest on a pool of worker slots, journaling every
+// verified record as it completes. Cells already present (and verifiable) in
+// opts.Done are folded without re-running, which is what makes an interrupted
+// grid resume bit-identically. Cancellation stops dispatching and returns
+// ctx's error with the partial report — everything already journaled
+// survives. Cells that exhaust their retry budget appear in Report.Failures;
+// a worker host that disappears mid-run retires its slot, returns its
+// in-flight cell to the queue, and is named in Report.LostHosts — the sweep
+// completes on survivors, and only fails (explicitly) once every host is
+// gone. Run returns a non-ctx error only for invalid options or
+// infrastructure failures (journal write errors).
 func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	o := opts.withDefaults()
 	rep, pending, err := fold(jobs, o.Done)
 	if err != nil {
@@ -375,12 +363,19 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 	if len(pending) == 0 {
 		return rep, ctx.Err()
 	}
+	tr := o.Transport
+	if tr == nil {
+		tr = &PipeTransport{Cmd: o.WorkerCmd, Env: o.WorkerEnv, Log: o.Log}
+	}
 	workers := o.Workers
+	if n := tr.Slots(); n > 0 {
+		workers = n
+	}
 	if workers > len(pending) {
 		workers = len(pending)
 	}
 
-	var mu sync.Mutex // guards rep, hardErrs, rng
+	var mu sync.Mutex // guards rep, accepted, hardErrs, rng, remaining, live
 	var hardErrs []error
 	rng := rand.New(rand.NewSource(o.Seed))
 	backoff := func(attempt int) time.Duration {
@@ -394,16 +389,93 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 		return d + j
 	}
 
-	queue := make(chan int)
+	// accepted is the at-most-once gate: one entry per record the grid has
+	// taken (folded from the journal or accepted live). Late duplicates —
+	// a retried job's first attempt surfacing after the retry already
+	// succeeded — are counted and discarded, never double-journaled.
+	accepted := make(map[string]bool, len(jobs))
+	for i, d := range rep.Done {
+		if d {
+			accepted[jobs[i].ID] = true
+		}
+	}
+	isDup := func(id string) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if !accepted[id] {
+			return false
+		}
+		rep.Duplicates++
+		return true
+	}
+
+	// The queue is buffered to hold every pending cell so a retiring slot can
+	// requeue its in-flight cell without blocking; done closes when the last
+	// cell reaches a terminal state (accepted or failed).
+	queue := make(chan int, len(jobs))
+	for _, idx := range pending {
+		queue <- idx
+	}
+	remaining := len(pending)
+	done := make(chan struct{})
+	finishJob := func() { // callers hold mu
+		remaining--
+		if remaining == 0 {
+			close(done)
+		}
+	}
+	live := workers
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(slotIdx int) {
 			defer wg.Done()
-			s := &slot{opts: &o}
+			s := &slot{opts: &o, tr: tr, idx: slotIdx, isDup: isDup}
 			defer s.recycle()
-			for idx := range queue {
+			for {
+				var idx int
+				select {
+				case <-ctx.Done():
+					return
+				case <-done:
+					return
+				case idx = <-queue:
+				}
 				rec, attempts, err := s.runJob(ctx, jobs[idx], backoff)
+				var hl *HostLost
+				if err != nil && ctx.Err() == nil && errors.As(err, &hl) {
+					// The slot's host is gone for good: hand the cell back to
+					// the queue for survivors and retire this slot. The queue
+					// requeue and the live decrement happen under one mutex
+					// hold so the last retiring slot sees every handed-back
+					// cell when it drains.
+					mu.Lock()
+					rep.Retried += attempts
+					queue <- idx
+					rep.LostHosts = append(rep.LostHosts, hl.Host)
+					live--
+					fmt.Fprintf(o.Log, "grid: worker host %s lost: %v; requeueing cell %d on survivors\n", hl.Host, hl.Err, idx)
+					if live == 0 {
+						reason := fmt.Sprintf("all worker hosts lost (%s)", joinSorted(rep.LostHosts))
+					drain:
+						for {
+							select {
+							case i := <-queue:
+								rep.Failures = append(rep.Failures, Failure{
+									Index: i, ID: jobs[i].ID, Name: jobs[i].Name,
+									Attempts: 0, Err: reason,
+								})
+								finishJob()
+							default:
+								break drain
+							}
+						}
+						fmt.Fprintf(o.Log, "grid: %s; failing %d remaining cells\n", reason, len(rep.Failures))
+					}
+					mu.Unlock()
+					return
+				}
 				mu.Lock()
 				rep.Retried += attempts - 1
 				if err != nil {
@@ -414,12 +486,15 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 						})
 						fmt.Fprintf(o.Log, "grid: cell %d (%s) failed after %d attempts: %v\n",
 							idx, jobs[idx].ID, attempts, err)
+						finishJob()
 					}
 					mu.Unlock()
 					continue
 				}
 				rep.Measurements[idx] = rec.M.ToMeasurement()
 				rep.Done[idx] = true
+				accepted[jobs[idx].ID] = true
+				finishJob()
 				mu.Unlock()
 				if jerr := o.Journal.Append(rec); jerr != nil {
 					mu.Lock()
@@ -427,22 +502,29 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*Report, error) {
 					mu.Unlock()
 				}
 			}
-		}()
+		}(w)
 	}
-dispatch:
-	for _, idx := range pending {
-		select {
-		case queue <- idx:
-		case <-ctx.Done():
-			break dispatch
-		}
-	}
-	close(queue)
 	wg.Wait()
 
 	sort.Slice(rep.Failures, func(i, j int) bool { return rep.Failures[i].Index < rep.Failures[j].Index })
+	rep.LostHosts = dedupSorted(rep.LostHosts)
 	if len(hardErrs) > 0 {
 		return rep, errors.Join(hardErrs...)
 	}
 	return rep, ctx.Err()
+}
+
+func joinSorted(hosts []string) string {
+	return strings.Join(dedupSorted(append([]string(nil), hosts...)), ", ")
+}
+
+func dedupSorted(hosts []string) []string {
+	sort.Strings(hosts)
+	out := hosts[:0]
+	for i, h := range hosts {
+		if i == 0 || hosts[i-1] != h {
+			out = append(out, h)
+		}
+	}
+	return out
 }

@@ -14,10 +14,12 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"reqsched/internal/grid"
+	"reqsched/internal/grid/chaos"
 	"reqsched/internal/ratio"
 	"reqsched/internal/registry"
 )
@@ -77,6 +79,13 @@ type Options struct {
 	// Retries is the retry budget per cell before it is marked failed
 	// (sharded mode); 0 means no retries.
 	Retries int
+	// WorkersAt lists TCP gridworker addresses ("host:port"); when set, the
+	// cells run on those remote workers over the network transport, one
+	// supervisor slot per address.
+	WorkersAt []string
+	// LinkFault arms one deterministic transport link fault (requires
+	// WorkersAt; nil: none).
+	LinkFault *chaos.LinkFaults
 	// Signals installs SIGINT/SIGTERM handling: an interrupted run drains
 	// in-flight cells, flushes checkpoints, and reports Interrupted.
 	Signals bool
@@ -133,7 +142,10 @@ func Run(ctx context.Context, jobs []grid.Job, o Options) (*Result, error) {
 		return nil, fmt.Errorf("%s: -resume requires -journal", tool)
 	}
 
-	if o.Shard <= 0 && o.JournalPath == "" {
+	if o.LinkFault != nil && len(o.WorkersAt) == 0 {
+		return nil, fmt.Errorf("%s: a link fault needs remote workers (-workers-at)", tool)
+	}
+	if o.Shard <= 0 && o.JournalPath == "" && len(o.WorkersAt) == 0 {
 		return &Result{Measurements: ratio.RunParallel(grid.RatioJobs(jobs), o.Workers)}, nil
 	}
 
@@ -163,9 +175,20 @@ func Run(ctx context.Context, jobs []grid.Job, o Options) (*Result, error) {
 
 	var rep *grid.Report
 	var err error
-	if o.Shard <= 0 {
+	switch {
+	case len(o.WorkersAt) > 0:
+		rep, err = grid.Run(ctx, jobs, grid.Options{
+			Transport:  &grid.TCPTransport{Addrs: o.WorkersAt, Link: o.LinkFault, Log: log},
+			Journal:    j,
+			Done:       done,
+			JobTimeout: o.JobTimeout,
+			Retries:    o.Retries,
+			NoRetries:  o.Retries == 0, // runner's 0 means "no retries", not "default"
+			Log:        log,
+		})
+	case o.Shard <= 0:
 		rep, err = grid.RunLocal(ctx, jobs, done, j, o.Workers)
-	} else {
+	default:
 		cmd := o.WorkerCmd
 		if len(cmd) == 0 {
 			self, eerr := os.Executable()
@@ -174,17 +197,14 @@ func Run(ctx context.Context, jobs []grid.Job, o Options) (*Result, error) {
 			}
 			cmd = []string{self, "-gridworker"}
 		}
-		retries := o.Retries
-		if retries == 0 {
-			retries = -1 // grid.Options treats 0 as "default"; 0 here means "no retries"
-		}
 		rep, err = grid.Run(ctx, jobs, grid.Options{
 			Workers:    o.Shard,
 			WorkerCmd:  cmd,
 			Journal:    j,
 			Done:       done,
 			JobTimeout: o.JobTimeout,
-			Retries:    retries,
+			Retries:    o.Retries,
+			NoRetries:  o.Retries == 0, // runner's 0 means "no retries", not "default"
 			Log:        log,
 		})
 	}
@@ -209,6 +229,9 @@ func Run(ctx context.Context, jobs []grid.Job, o Options) (*Result, error) {
 	}
 	if rep.FromJournal > 0 || rep.Retried > 0 {
 		fmt.Fprintf(log, "%s: %d/%d cells from journal, %d retried\n", tool, rep.FromJournal, len(jobs), rep.Retried)
+	}
+	if len(rep.LostHosts) > 0 {
+		fmt.Fprintf(log, "%s: worker host(s) lost mid-run: %s\n", tool, strings.Join(rep.LostHosts, ", "))
 	}
 	res := &Result{
 		Measurements: rep.Measurements,

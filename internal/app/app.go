@@ -34,7 +34,7 @@ const (
 	phasesUsage  = "adversary phases"
 )
 
-func workersFlag(fs *flag.FlagSet) *int  { return fs.Int("workers", 0, workersUsage) }
+func workersFlag(fs *flag.FlagSet) *int { return fs.Int("workers", 0, workersUsage) }
 
 // resolveWorkers maps the shared -workers convention to the concrete pool
 // size: any value <= 0 resolves to runtime.GOMAXPROCS(0). Every binary
@@ -46,9 +46,9 @@ func resolveWorkers(w int) int {
 	}
 	return w
 }
-func seedFlag(fs *flag.FlagSet) *int64   { return fs.Int64("seed", 1, seedUsage) }
-func nFlag(fs *flag.FlagSet) *int        { return fs.Int("n", 8, nUsage) }
-func dFlag(fs *flag.FlagSet) *int        { return fs.Int("d", 4, dUsage) }
+func seedFlag(fs *flag.FlagSet) *int64 { return fs.Int64("seed", 1, seedUsage) }
+func nFlag(fs *flag.FlagSet) *int      { return fs.Int("n", 8, nUsage) }
+func dFlag(fs *flag.FlagSet) *int      { return fs.Int("d", 4, dUsage) }
 
 // newFlagSet returns a ContinueOnError flag set writing usage to stderr, so
 // the Mains can run in-process under test.

@@ -14,7 +14,10 @@ import (
 	"time"
 
 	"reqsched"
+	"reqsched/internal/core"
+	"reqsched/internal/registry"
 	"reqsched/internal/serve"
+	"reqsched/internal/workload"
 )
 
 // benchEntry is one strategy's measured baseline.
@@ -153,6 +156,34 @@ type benchServeIngest struct {
 	SpeedupVsLegacy float64           `json:"speedup_vs_legacy"`
 }
 
+// benchModelEntry is one service model's engine timing: the greedy router on
+// reusable-resource traffic sized to the model's capacity. One op is a full
+// trace run.
+type benchModelEntry struct {
+	Hold        int     `json:"hold"`
+	Cap         int     `json:"cap"`
+	Requests    int     `json:"requests"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Fulfilled   int     `json:"fulfilled"`
+}
+
+// benchModelHold records the engine under hold=k service models — the
+// occupancy-tracking window path — against the unit-model hold=1 row, which
+// must stay on the historical zero-extra-alloc fast path.
+type benchModelHold struct {
+	TargetRequests int `json:"target_requests"`
+	Workload       struct {
+		N    int     `json:"n"`
+		D    int     `json:"d"`
+		Load float64 `json:"load"`
+		Seed int64   `json:"seed"`
+	} `json:"workload"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Entries    []benchModelEntry `json:"entries"`
+}
+
 // benchBaseline is the file format of BENCH_engine.json.
 type benchBaseline struct {
 	Workload struct {
@@ -168,6 +199,7 @@ type benchBaseline struct {
 	Weighted    *benchWeighted    `json:"weighted,omitempty"`
 	Incremental *benchIncremental `json:"incremental_opt,omitempty"`
 	ServeIngest *benchServeIngest `json:"serve_ingest,omitempty"`
+	ModelHold   *benchModelHold   `json:"model_hold,omitempty"`
 }
 
 // timeIt returns the fastest of reps timed runs of f in nanoseconds.
@@ -313,6 +345,61 @@ func runBenchIncremental(requests int, stderr io.Writer) (*benchIncremental, err
 	fmt.Fprintf(stderr, "incremental cold %14.0f ns/op %8d allocs/op\n", o.ColdNsPerOp, o.ColdAllocsPerOp)
 	fmt.Fprintf(stderr, "incremental inc  %14.0f ns/op %8d allocs/op  speedup %.2fx  allocs %.1fx fewer\n",
 		o.NsPerOp, o.AllocsPerOp, o.SpeedupVsCold, o.AllocReduction)
+	return o, nil
+}
+
+// runBenchModelHold measures the engine under hold=k service models: the
+// greedy router on reusable-resource traffic of roughly `requests` requests
+// per cell, rounds scaled so every model sees the same request count at the
+// same utilization. The hold=1,cap=1 row runs the historical unit-model fast
+// path; the others exercise the occupancy-tracking window.
+func runBenchModelHold(requests int, stderr io.Writer) (*benchModelHold, error) {
+	const (
+		n, d = 16, 4
+		load = 0.9
+		seed = 11
+	)
+	o := &benchModelHold{TargetRequests: requests}
+	o.Workload.N = n
+	o.Workload.D = d
+	o.Workload.Load = load
+	o.Workload.Seed = seed
+	o.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	greedy := func() core.Strategy {
+		s, err := registry.NewStrategySpec("compose,router=greedy")
+		if err != nil {
+			panic(err) // the spec is a constant; resolution cannot fail
+		}
+		return s
+	}
+	for _, m := range []core.ServiceModel{{Hold: 1, Cap: 1}, {Hold: 2, Cap: 1}, {Hold: 4, Cap: 2}, {Hold: 8, Cap: 2}} {
+		// rate = load*n*cap/hold, so rounds = requests*hold/(load*n*cap) keeps
+		// the request count at the target for every model.
+		rounds := int(float64(requests) * float64(m.Hold) / (load * float64(n) * float64(m.Cap)))
+		tr := workload.Reusable(workload.Config{N: n, D: d, Rounds: rounds, Seed: seed}, m, load)
+		var fulfilled int
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunChecked(greedy(), tr)
+				if err != nil {
+					b.Fatalf("run greedy under %s: %v", m, err)
+				}
+				fulfilled = res.Fulfilled
+			}
+		})
+		nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		o.Entries = append(o.Entries, benchModelEntry{
+			Hold: m.Hold, Cap: m.Cap, Requests: tr.NumRequests(),
+			NsPerOp:     nsPerOp,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Fulfilled:   fulfilled,
+		})
+		fmt.Fprintf(stderr, "model %-14s %12.0f ns/op %8d allocs/op %10d B/op  served %d of %d\n",
+			m, nsPerOp, r.AllocsPerOp(), r.AllocedBytesPerOp(), fulfilled, tr.NumRequests())
+	}
 	return o, nil
 }
 
@@ -512,7 +599,8 @@ func BenchMain(args []string, stdout, stderr io.Writer) int {
 	weightedReqs := fs.Int("weighted-requests", 100_000, "request count for the weighted-optima benchmark (0 skips it; the monolithic reference is superlinear — ~40 min at the default size)")
 	incReqs := fs.Int("incremental-requests", 200_000, "request count for the incremental-optimum benchmark (0 skips it)")
 	serveReqs := fs.Int("serve-requests", 50_000, "request count for the serve-ingest benchmark (0 skips it)")
-	regressFile := fs.String("check-regress", "", "baseline BENCH_engine.json: rerun the incremental_opt and serve_ingest sections at the baseline's sizes and fail if ns/op regresses past -regress-tolerance (skips everything else)")
+	modelReqs := fs.Int("model-requests", 50_000, "request count per service model for the model_hold benchmark (0 skips it)")
+	regressFile := fs.String("check-regress", "", "baseline BENCH_engine.json: rerun the incremental_opt, serve_ingest and model_hold sections at the baseline's sizes and fail if ns/op regresses past -regress-tolerance (skips everything else)")
 	regressTol := fs.Float64("regress-tolerance", 0.25, "allowed fractional ns/op regression in -check-regress mode")
 	workers := workersFlag(fs)
 	list, describe := listingFlags(fs)
@@ -607,6 +695,14 @@ func BenchMain(args []string, stdout, stderr io.Writer) int {
 		}
 		base.ServeIngest = si
 	}
+	if *modelReqs > 0 {
+		mh, err := runBenchModelHold(*modelReqs, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		base.ModelHold = mh
+	}
 
 	w := io.Writer(stdout)
 	if *out != "" {
@@ -628,8 +724,8 @@ func BenchMain(args []string, stdout, stderr io.Writer) int {
 }
 
 // benchCheckRegress is the CI benchmark-regression guard: it reruns the cheap
-// incremental_opt and serve_ingest sections at the sizes recorded in the
-// checked-in baseline and fails if any ns/op metric regressed past tol
+// incremental_opt, serve_ingest and model_hold sections at the sizes recorded
+// in the checked-in baseline and fails if any ns/op metric regressed past tol
 // (fractional — 0.25 allows +25%). Getting faster never fails; the strategy,
 // offline and weighted sections are too slow for a CI gate and are skipped.
 func benchCheckRegress(path string, tol float64, stdout, stderr io.Writer) int {
@@ -643,8 +739,8 @@ func benchCheckRegress(path string, tol float64, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "parse %s: %v\n", path, err)
 		return 1
 	}
-	if base.Incremental == nil && base.ServeIngest == nil {
-		fmt.Fprintf(stderr, "%s has no incremental_opt or serve_ingest section to check\n", path)
+	if base.Incremental == nil && base.ServeIngest == nil && base.ModelHold == nil {
+		fmt.Fprintf(stderr, "%s has no incremental_opt, serve_ingest or model_hold section to check\n", path)
 		return 1
 	}
 	failed := false
@@ -681,6 +777,23 @@ func benchCheckRegress(path string, tol float64, stdout, stderr io.Writer) int {
 		for _, e := range got.Entries {
 			if baseline, ok := want[e.Mode]; ok {
 				check("serve_ingest."+e.Mode+".ns_per_request", baseline, e.NsPerRequest)
+			}
+		}
+	}
+	if base.ModelHold != nil {
+		got, err := runBenchModelHold(base.ModelHold.TargetRequests, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		want := make(map[string]float64, len(base.ModelHold.Entries))
+		for _, e := range base.ModelHold.Entries {
+			want[fmt.Sprintf("hold=%d,cap=%d", e.Hold, e.Cap)] = e.NsPerOp
+		}
+		for _, e := range got.Entries {
+			key := fmt.Sprintf("hold=%d,cap=%d", e.Hold, e.Cap)
+			if baseline, ok := want[key]; ok {
+				check("model_hold."+key+".ns_per_op", baseline, e.NsPerOp)
 			}
 		}
 	}

@@ -58,6 +58,9 @@ func SchedsimMain(args []string, stdout, stderr io.Writer) int {
 		choices   = fs.Int("c", 3, "alternatives per request (cchoice)")
 		maxW      = fs.Int("maxw", 8, "maximum request weight (weighted)")
 		trapEvery = fs.Int("trap-every", 20, "rounds between embedded traps (trapmix)")
+		hold      = fs.Int("hold", 0, "service model: rounds a served request occupies its resource (0 = 1, unit)")
+		capc      = fs.Int("cap", 0, "service model: concurrent services per resource (0 = 1, unit)")
+		load      = fs.Float64("load", 0.9, "target utilization of the model's capacity (reusable, when -rate 0)")
 		strategy  = fs.String("strategy", "", "run a single strategy by name")
 		all       = fs.Bool("all", false, "run every strategy (default when -strategy empty)")
 		series    = fs.Bool("series", false, "emit per-round CSV for the selected strategy instead of the summary")
@@ -97,7 +100,10 @@ func SchedsimMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, rep.Format())
 		return 0
 	}
-	if *rate == 0 {
+	// Historical defaulting: -rate 0 means "rate = n" — except for the
+	// reusable family, where rate 0 asks the generator to derive the rate
+	// from -load and the service model.
+	if *rate == 0 && *wl != "reusable" {
 		*rate = float64(*n)
 	}
 	if *burst == 0 {
@@ -115,6 +121,7 @@ func SchedsimMain(args []string, stdout, stderr io.Writer) int {
 		"s": fv(*zipfS), "items": iv(*items),
 		"on": iv(*on), "off": iv(*off), "burst": fv(*burst),
 		"c": iv(*choices), "maxw": iv(*maxW), "trap_every": iv(*trapEvery),
+		"hold": iv(*hold), "cap": iv(*capc), "load": fv(*load),
 	}
 	params, err := workloadParams(comp, vals)
 	if err == nil {

@@ -49,6 +49,8 @@ func serveMain(ctx context.Context, args []string, stdout, stderr io.Writer) int
 		n        = nFlag(fs)
 		d        = dFlag(fs)
 		maxD     = fs.Int("max-d", 0, "largest per-record deadline window admitted (0: -d)")
+		hold     = fs.Int("hold", 0, "service model: rounds a served request occupies its resource (0 = 1, unit)")
+		capc     = fs.Int("cap", 0, "service model: concurrent services per resource (0 = 1, unit)")
 		roundMS  = fs.Int("round-ms", 100, "wall-clock round length in milliseconds")
 		virtual  = fs.Bool("virtual-clock", false, "deterministic clock: record arrival rounds drive the engine instead of a ticker")
 		queue    = fs.Int("queue", 4096, "arrival queue capacity (full queue answers 429)")
@@ -76,6 +78,7 @@ func serveMain(ctx context.Context, args []string, stdout, stderr io.Writer) int
 		MaxD:         *maxD,
 		Strategy:     strat,
 		StrategyName: name,
+		Model:        core.ServiceModel{Hold: *hold, Cap: *capc},
 		Virtual:      *virtual,
 		RoundDur:     time.Duration(*roundMS) * time.Millisecond,
 		QueueCap:     *queue,
@@ -119,8 +122,12 @@ func serveMain(ctx context.Context, args []string, stdout, stderr io.Writer) int
 	if *virtual {
 		clock = "virtual-clock"
 	}
-	fmt.Fprintf(stdout, "serve: listening on %s strategy=%s n=%d d=%d %s queue=%d\n",
-		ln.Addr(), name, *n, *d, clock, *queue)
+	model := ""
+	if m := (core.ServiceModel{Hold: *hold, Cap: *capc}).Norm(); !m.IsUnit() {
+		model = " " + m.String()
+	}
+	fmt.Fprintf(stdout, "serve: listening on %s strategy=%s n=%d d=%d%s %s queue=%d\n",
+		ln.Addr(), name, *n, *d, model, clock, *queue)
 
 	httpSrv := &http.Server{Handler: s}
 	done := make(chan struct{})

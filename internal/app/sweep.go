@@ -45,7 +45,10 @@ type printer func(ms []ratio.Measurement, done []bool)
 //	            (the shape of the Table 1 bound formulas);
 //	-mode l     A_current's ratio versus l, converging to e/(e-1);
 //	-mode load  empirical ratio of every strategy on random load as the
-//	            arrival rate sweeps past saturation.
+//	            arrival rate sweeps past saturation;
+//	-mode model greedy's ratio on reusable-resource traffic over a hold ×
+//	            load grid, against the factor-2 charging bound (cf. arXiv
+//	            2304.03377).
 //
 // All modes declare their cells as registry records (strategy, source,
 // params) and execute them through the runner pipeline; rows print in a
@@ -54,7 +57,7 @@ type printer func(ms []ratio.Measurement, done []bool)
 // worker-pool path and produces byte-identical CSV on every path.
 func SweepMain(args []string, stdout, stderr io.Writer) int {
 	fs := newFlagSet("sweep", stderr)
-	mode := fs.String("mode", "d", "d | l | load")
+	mode := fs.String("mode", "d", "d | l | load | model")
 	phases := fs.Int("phases", 60, phasesUsage)
 	workers := workersFlag(fs)
 	shard := fs.Int("shard", 0, "gridworker subprocesses (0: measure in-process)")
@@ -104,6 +107,8 @@ func SweepMain(args []string, stdout, stderr io.Writer) int {
 		records, print = sweepL(stdout)
 	case "load":
 		records, print = sweepLoad(stdout)
+	case "model":
+		records, print = sweepModel(stdout)
 	default:
 		fmt.Fprintf(stderr, "unknown mode %q\n", *mode)
 		return 2
@@ -296,6 +301,50 @@ func sweepLoad(stdout io.Writer) ([]runner.Record, printer) {
 			}
 			p := points[i]
 			fmt.Fprintf(stdout, "%s,%.2f,%d,%d,%s\n", p.name, p.frac, m.OPT, m.ALG, ratio.FormatRatio(m.Ratio(), 6))
+		}
+	}
+	return records, print
+}
+
+// sweepModel grids the greedy router over reusable-resource traffic: hold ×
+// load, capacity 2, with the epoch-relaxed offline optimum as the
+// denominator. The greedyUB column is the factor-2 charging bound (each hold
+// window absorbs at most cap optimal starts; tight on hold_squeeze), which
+// Baek–Wang sharpen in the windowless reusable model (arXiv 2304.03377).
+func sweepModel(stdout io.Writer) ([]runner.Record, printer) {
+	n, d := 8, 4
+	holds := []int{1, 2, 4, 8}
+	loads := []float64{0.5, 0.9, 1.5}
+
+	type point struct {
+		hold int
+		load float64
+	}
+	var records []runner.Record
+	var points []point
+	for _, h := range holds {
+		for _, load := range loads {
+			records = append(records, runner.Record{
+				Name:     fmt.Sprintf("greedy/hold=%d@%.2f", h, load),
+				Strategy: "compose,router=greedy",
+				Source:   "reusable",
+				Params: registry.Params{
+					"n": iv(n), "d": iv(d), "rounds": iv(200), "seed": iv(7),
+					"hold": iv(h), "cap": iv(2), "load": fv(load),
+				},
+			})
+			points = append(points, point{h, load})
+		}
+	}
+	print := func(ms []ratio.Measurement, done []bool) {
+		fmt.Fprintln(stdout, "strategy,hold,cap,load,opt,alg,measured,greedyUB")
+		for i, m := range ms {
+			if done != nil && !done[i] {
+				continue
+			}
+			p := points[i]
+			fmt.Fprintf(stdout, "greedy,%d,2,%.2f,%d,%d,%s,2.000000\n",
+				p.hold, p.load, m.OPT, m.ALG, ratio.FormatRatio(m.Ratio(), 6))
 		}
 	}
 	return records, print

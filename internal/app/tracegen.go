@@ -112,6 +112,9 @@ func tracegenGen(args []string, stdout, stderr io.Writer) int {
 		c      = fs.Int("c", 3, "alternatives per request (cchoice)")
 		maxW   = fs.Int("maxw", 8, "maximum request weight (weighted)")
 		trapE  = fs.Int("trap-every", 20, "rounds between embedded traps (trapmix)")
+		hold   = fs.Int("hold", 0, "service model: rounds a served request occupies its resource (0 = 1, unit)")
+		capc   = fs.Int("cap", 0, "service model: concurrent services per resource (0 = 1, unit)")
+		load   = fs.Float64("load", 0.9, "target utilization of the model's capacity (reusable, when -rate 0)")
 		phases = fs.Int("phases", 40, phasesUsage)
 		extra  = fs.String("params", "", "extra component parameters as name=value,... (see -describe)")
 		out    = fs.String("out", "", "output file (default stdout)")
@@ -120,7 +123,10 @@ func tracegenGen(args []string, stdout, stderr io.Writer) int {
 	if ok, code := parse(fs, args); !ok {
 		return code
 	}
-	if *rate == 0 {
+	// Historical defaulting: -rate 0 means "rate = n" — except for the
+	// reusable family, where rate 0 asks the generator to derive the rate
+	// from -load and the service model.
+	if *rate == 0 && *wl != "reusable" {
 		*rate = float64(*n)
 	}
 	if *burst == 0 {
@@ -173,6 +179,7 @@ func tracegenGen(args []string, stdout, stderr io.Writer) int {
 			"s": fv(*zipfS), "items": iv(*items),
 			"on": iv(*on), "off": iv(*off), "burst": fv(*burst),
 			"c": iv(*c), "maxw": iv(*maxW), "trap_every": iv(*trapE),
+			"hold": iv(*hold), "cap": iv(*capc), "load": fv(*load),
 		}
 		p, err := workloadParams(comp, vals)
 		if err != nil {

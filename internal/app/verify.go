@@ -258,6 +258,11 @@ func VerifyMain(args []string, stdout, stderr io.Writer) int {
 	// head-of-line blocking in the pinned experiment.
 	composeChecks(add)
 
+	// 4f. Reusable resources: hold_squeeze forces the greedy router to
+	// exactly the factor-2 charging bound, and batch, segmented and
+	// incremental offline optima agree under hold x cap service-model grids.
+	modelChecks(add, w)
+
 	// 5. Fault-tolerant grid: deterministic manifests, journal resume with
 	// torn-tail truncation, and a chaos-killed worker subprocess — the
 	// machinery behind cmd/sweep -shard/-journal/-resume.
@@ -272,7 +277,7 @@ func VerifyMain(args []string, stdout, stderr io.Writer) int {
 	if *tools {
 		cmds := [][]string{
 			{"go", "vet", "./..."},
-			{"go", "test", "-race", "./internal/offline", "./internal/ratio", "./internal/experiment", "./internal/grid", "./internal/serve", "./internal/policy", "./internal/matching"},
+			{"go", "test", "-race", "./internal/offline", "./internal/ratio", "./internal/experiment", "./internal/grid", "./internal/serve", "./internal/policy", "./internal/matching", "./internal/core", "./internal/trace"},
 		}
 		for _, args := range cmds {
 			cmd := exec.Command(args[0], args[1:]...)

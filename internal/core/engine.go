@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Strategy is an online scheduling strategy. The engine calls Begin once,
 // then Round for every round until the trace is exhausted and all windows
@@ -115,7 +118,10 @@ func run(s Strategy, tr *Trace, series *Series) (*Result, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
-	st := NewStepper(s, tr.N, tr.D, tr.MaxD())
+	if err := CheckModelSupport(s, tr.Model); err != nil {
+		return nil, err
+	}
+	st := NewStepperModel(s, tr.N, tr.D, tr.MaxD(), tr.Model)
 	st.TrackBacklog = series != nil
 	st.res.Log = make([]Fulfillment, 0, tr.NumRequests())
 
@@ -139,11 +145,20 @@ func run(s Strategy, tr *Trace, series *Series) (*Result, error) {
 
 // ValidateLog checks that a fulfillment log is a feasible schedule for the
 // trace: every request served at most once, within its window, at one of its
-// alternatives, and no resource serves two requests in one round. This is the
+// alternatives, and no resource over-committed — under the unit model no slot
+// serves two requests; under a general model no resource ever has more than
+// Cap service starts inside any Hold-round sliding window. This is the
 // independent end-to-end check applied to every strategy in tests.
 func ValidateLog(tr *Trace, log []Fulfillment) error {
+	m := tr.Model.Norm()
 	servedReq := make(map[int]bool)
-	servedSlot := make(map[[2]int]bool)
+	var servedSlot map[[2]int]bool
+	var starts map[int][]int
+	if m.IsUnit() {
+		servedSlot = make(map[[2]int]bool)
+	} else {
+		starts = make(map[int][]int)
+	}
 	for _, f := range log {
 		r := f.Req
 		if servedReq[r.ID] {
@@ -156,11 +171,31 @@ func ValidateLog(tr *Trace, log []Fulfillment) error {
 		if !r.HasAlt(f.Res) {
 			return fmt.Errorf("core: %v served by non-alternative %d", r, f.Res)
 		}
-		slot := [2]int{f.Res, f.Round}
-		if servedSlot[slot] {
-			return fmt.Errorf("core: slot (%d,%d) used twice", f.Res, f.Round)
+		if m.IsUnit() {
+			slot := [2]int{f.Res, f.Round}
+			if servedSlot[slot] {
+				return fmt.Errorf("core: slot (%d,%d) used twice", f.Res, f.Round)
+			}
+			servedSlot[slot] = true
+		} else {
+			starts[f.Res] = append(starts[f.Res], f.Round)
 		}
-		servedSlot[slot] = true
+	}
+	for res, rounds := range starts {
+		sort.Ints(rounds)
+		// Two-pointer sliding window: every Hold-round span may contain at
+		// most Cap service starts (starts occupy [t, t+Hold), so any two
+		// starts within Hold rounds of each other overlap).
+		lo := 0
+		for hi := range rounds {
+			for rounds[lo] <= rounds[hi]-m.Hold {
+				lo++
+			}
+			if hi-lo+1 > m.Cap {
+				return fmt.Errorf("core: resource %d starts %d services in rounds (%d,%d], capacity %d",
+					res, hi-lo+1, rounds[hi]-m.Hold, rounds[hi], m.Cap)
+			}
+		}
 	}
 	return nil
 }

@@ -39,16 +39,26 @@ type Stepper struct {
 }
 
 // NewStepper returns a stepper for strategy s over n resources with default
-// deadline window d and schedule lookahead depth (clamped up to d). It calls
-// s.Begin and positions the engine at round 0.
+// deadline window d and schedule lookahead depth (clamped up to d), under the
+// unit service model. It calls s.Begin and positions the engine at round 0.
 func NewStepper(s Strategy, n, d, depth int) *Stepper {
+	return NewStepperModel(s, n, d, depth, UnitModel())
+}
+
+// NewStepperModel is NewStepper under an explicit service model. It panics if
+// the strategy does not support m (see CheckModelSupport); callers that need
+// a graceful error check support before constructing.
+func NewStepperModel(s Strategy, n, d, depth int, m ServiceModel) *Stepper {
 	if n < 1 || d < 1 {
 		panic(fmt.Sprintf("core: invalid stepper params n=%d d=%d", n, d))
+	}
+	if err := CheckModelSupport(s, m); err != nil {
+		panic(err)
 	}
 	if depth < d {
 		depth = d
 	}
-	w := NewWindow(n, depth)
+	w := NewWindowModel(n, depth, m)
 	s.Begin(n, d)
 	st := &Stepper{
 		s: s, n: n, d: d, w: w,
@@ -76,6 +86,15 @@ func (st *Stepper) Pending() int { return len(st.pending) }
 
 // Depth returns the schedule window's lookahead depth in rounds.
 func (st *Stepper) Depth() int { return st.w.Depth() }
+
+// Model returns the service model the engine runs under.
+func (st *Stepper) Model() ServiceModel { return st.w.Model() }
+
+// Occupancy returns how many capacity units of resource res are busy at the
+// round the next Step will simulate — holds of already-served requests plus
+// any assignment planned for that round. The live daemon exposes these as
+// per-resource gauges.
+func (st *Stepper) Occupancy(res int) int { return st.w.OccupancyAt(res, st.t) }
 
 // Result returns the running totals. The pointer stays live across Steps;
 // callers must treat it as read-only and only look between Step calls.
@@ -114,27 +133,61 @@ func (st *Stepper) Step(arrivals []*Request) RoundStats {
 
 	rs.Arrived = len(arrivals)
 
-	// 4. Serve the current row.
+	// 4. Serve the current row. Under the unit model the served slot is
+	// released immediately (Unassign); under a general model the storage cell
+	// is consumed but the occupancy of the hold span stays busy until those
+	// rounds slide past the window.
 	clear(st.served)
-	for i := 0; i < st.n; i++ {
-		r := st.w.At(i, t)
-		if r == nil {
-			rs.Idle++
-			continue
+	if st.w.occ == nil {
+		for i := 0; i < st.n; i++ {
+			r := st.w.At(i, t)
+			if r == nil {
+				rs.Idle++
+				continue
+			}
+			st.w.Unassign(r)
+			st.res.Fulfilled++
+			st.res.WeightFulfilled += r.Weight()
+			st.res.LatencySum += t - r.Arrive
+			st.res.PerResource[i]++
+			f := Fulfillment{Req: r, Res: i, Round: t}
+			if st.KeepLog {
+				st.res.Log = append(st.res.Log, f)
+			}
+			if st.Observe != nil {
+				st.Observe(f)
+			}
+			st.served[r.ID] = true
 		}
-		st.w.Unassign(r)
-		st.res.Fulfilled++
-		st.res.WeightFulfilled += r.Weight()
-		st.res.LatencySum += t - r.Arrive
-		st.res.PerResource[i]++
-		f := Fulfillment{Req: r, Res: i, Round: t}
-		if st.KeepLog {
-			st.res.Log = append(st.res.Log, f)
+	} else {
+		capc := st.w.model.Cap
+		row := st.w.rows[t%st.w.depth]
+		for i := 0; i < st.n; i++ {
+			started := 0
+			for c := i * capc; c < (i+1)*capc; c++ {
+				r := row[c]
+				if r == nil {
+					continue
+				}
+				st.w.consume(r)
+				started++
+				st.res.Fulfilled++
+				st.res.WeightFulfilled += r.Weight()
+				st.res.LatencySum += t - r.Arrive
+				st.res.PerResource[i]++
+				f := Fulfillment{Req: r, Res: i, Round: t}
+				if st.KeepLog {
+					st.res.Log = append(st.res.Log, f)
+				}
+				if st.Observe != nil {
+					st.Observe(f)
+				}
+				st.served[r.ID] = true
+			}
+			if started == 0 {
+				rs.Idle++
+			}
 		}
-		if st.Observe != nil {
-			st.Observe(f)
-		}
-		st.served[r.ID] = true
 	}
 	if len(st.served) > 0 {
 		live := st.pending[:0]

@@ -15,6 +15,10 @@ type Trace struct {
 	D int
 	// Arrivals[t] lists the requests injected at round t, in injection order.
 	Arrivals [][]Request
+	// Model is the service model the trace is meant to run under. The zero
+	// value is the paper's unit model (cap=1, hold=1) — see ServiceModel.Norm
+	// — so traces built before the model existed keep their meaning.
+	Model ServiceModel
 }
 
 // NumRequests returns the total number of requests in the trace.
@@ -88,6 +92,9 @@ func (tr *Trace) Validate() error {
 	if tr.D < 1 {
 		return fmt.Errorf("trace: D=%d < 1", tr.D)
 	}
+	if err := tr.Model.Validate(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
 	next := 0
 	// seen[a] == gen marks resource a as already named by the current request;
 	// bumping gen per request resets the table without reallocating, so the
@@ -144,6 +151,7 @@ func (tr *Trace) Requests() []*Request {
 // round) is the order of Add calls.
 type Builder struct {
 	n, d    int
+	model   ServiceModel
 	nextID  int
 	pending []Request
 }
@@ -161,6 +169,15 @@ func (b *Builder) N() int { return b.n }
 
 // D returns the default deadline window.
 func (b *Builder) D() int { return b.d }
+
+// SetModel sets the service model the built traces will carry. The zero value
+// (never calling SetModel) keeps the unit model.
+func (b *Builder) SetModel(m ServiceModel) {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	b.model = m
+}
 
 // Add injects one request at round t with the default window and the given
 // alternatives (in preference order). It returns the assigned ID.
@@ -249,6 +266,7 @@ func (b *Builder) Build() *Trace {
 		N:        b.n,
 		D:        b.d,
 		Arrivals: make([][]Request, maxT+1),
+		Model:    b.model,
 	}
 	// Renumber IDs into global injection order (arrival round, then original
 	// Add order) so the Trace invariant holds even when rounds were added out

@@ -12,27 +12,62 @@ import "fmt"
 // of one of its alternative resources, within [current round, deadline], and
 // only while unassigned. This makes an invalid schedule impossible to express,
 // which is the first of the reproduction's global invariants.
+//
+// Under a non-unit ServiceModel a resource has model.Cap storage cells per
+// round and a request served at round t occupies one capacity unit for the
+// rounds [t, t+model.Hold). Feasibility is tracked as per-round occupancy
+// counts (occ): because every hold interval has the same length, "occupancy
+// never exceeds Cap in any round" is exactly equivalent to a consistent
+// per-unit realization, so no explicit unit bookkeeping is needed. Under the
+// unit model occ stays nil and every operation takes the legacy code path
+// untouched — the basis of the bit-identity and zero-alloc guarantees.
 type Window struct {
 	n     int
 	depth int
+	model ServiceModel
 	t     int          // current round
-	rows  [][]*Request // rows[t' % depth][i]
+	rows  [][]*Request // rows[t' % depth][res*Cap + cell]
 	where map[int]slotRef
+
+	// occ[t' % occLen][res] counts capacity units of res busy in round t' —
+	// both planned assignments and holds of already-served requests. nil for
+	// the unit model. occLen = depth + Hold - 1 so a request starting at the
+	// last window round can record its full hold span.
+	occ    [][]int32
+	occLen int
 }
 
-type slotRef struct{ res, round int }
+type slotRef struct{ res, round, cell int }
 
 // NewWindow returns a window over n resources looking depth rounds ahead,
-// positioned at round 0.
+// positioned at round 0, under the unit service model.
 func NewWindow(n, depth int) *Window {
+	return NewWindowModel(n, depth, UnitModel())
+}
+
+// NewWindowModel returns a window over n resources looking depth rounds
+// ahead, positioned at round 0, under service model m.
+func NewWindowModel(n, depth int, m ServiceModel) *Window {
+	m = m.Norm()
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
 	w := &Window{
 		n:     n,
 		depth: depth,
+		model: m,
 		rows:  make([][]*Request, depth),
 		where: make(map[int]slotRef),
 	}
 	for i := range w.rows {
-		w.rows[i] = make([]*Request, n)
+		w.rows[i] = make([]*Request, n*m.Cap)
+	}
+	if !m.IsUnit() {
+		w.occLen = depth + m.Hold - 1
+		w.occ = make([][]int32, w.occLen)
+		for i := range w.occ {
+			w.occ[i] = make([]int32, n)
+		}
 	}
 	return w
 }
@@ -42,6 +77,9 @@ func (w *Window) N() int { return w.n }
 
 // Depth returns the lookahead depth in rounds.
 func (w *Window) Depth() int { return w.depth }
+
+// Model returns the service model the window schedules under.
+func (w *Window) Model() ServiceModel { return w.model }
 
 // Round returns the current round t. Valid slot rounds are t .. t+Depth()-1.
 func (w *Window) Round() int { return w.t }
@@ -53,11 +91,79 @@ func (w *Window) row(round int) []*Request {
 	return w.rows[round%w.depth]
 }
 
-// At returns the request assigned to resource res at the given round, or nil.
-func (w *Window) At(res, round int) *Request { return w.row(round)[res] }
+func (w *Window) occAdd(res, round, delta int) {
+	for rr := round; rr < round+w.model.Hold; rr++ {
+		w.occ[rr%w.occLen][res] += int32(delta)
+	}
+}
 
-// Free reports whether the slot (res, round) is unassigned.
-func (w *Window) Free(res, round int) bool { return w.row(round)[res] == nil }
+// At returns the request assigned to resource res at the given round, or nil.
+// Under capacities > 1 it returns the first of possibly several assignments.
+func (w *Window) At(res, round int) *Request {
+	row := w.row(round)
+	if w.occ == nil {
+		return row[res]
+	}
+	c0 := res * w.model.Cap
+	for c := c0; c < c0+w.model.Cap; c++ {
+		if row[c] != nil {
+			return row[c]
+		}
+	}
+	return nil
+}
+
+// Free reports whether request service can start on resource res at the given
+// round: under the unit model, that its slot is unassigned; under a general
+// model, that a capacity unit of res is available for the full hold span
+// [round, round+Hold).
+func (w *Window) Free(res, round int) bool {
+	if w.occ == nil {
+		return w.row(round)[res] == nil
+	}
+	w.row(round) // bounds-check the start round
+	capc := int32(w.model.Cap)
+	for rr := round; rr < round+w.model.Hold; rr++ {
+		if w.occ[rr%w.occLen][res] >= capc {
+			return false
+		}
+	}
+	return true
+}
+
+// AssignedCount returns how many requests are assigned to resource res at the
+// given round (0 or 1 under the unit model, up to Cap otherwise).
+func (w *Window) AssignedCount(res, round int) int {
+	row := w.row(round)
+	if w.occ == nil {
+		if row[res] != nil {
+			return 1
+		}
+		return 0
+	}
+	c0, count := res*w.model.Cap, 0
+	for c := c0; c < c0+w.model.Cap; c++ {
+		if row[c] != nil {
+			count++
+		}
+	}
+	return count
+}
+
+// OccupancyAt returns how many capacity units of resource res are busy at the
+// given round — planned assignments plus holds of already-served requests.
+func (w *Window) OccupancyAt(res, round int) int {
+	if w.occ == nil {
+		if w.row(round)[res] != nil {
+			return 1
+		}
+		return 0
+	}
+	if round < w.t || round >= w.t+w.occLen {
+		panic(fmt.Sprintf("core: occupancy round %d outside [%d,%d)", round, w.t, w.t+w.occLen))
+	}
+	return int(w.occ[round%w.occLen][res])
+}
 
 // AssignmentOf returns where request r is currently assigned.
 func (w *Window) AssignmentOf(r *Request) (res, round int, ok bool) {
@@ -71,17 +177,41 @@ func (w *Window) Assigned(r *Request) bool {
 	return ok
 }
 
-// Assign gives the slot (res, round) to request r. It panics if the slot is
-// occupied, outside the window, past the request's deadline, before its
-// arrival, not one of its alternatives, or if r is already assigned (call
-// Unassign first to move a request).
+// Assign gives a slot of (res, round) to request r. It panics if the resource
+// has no capacity free over the hold span, the round is outside the window,
+// past the request's deadline, before its arrival, res is not one of its
+// alternatives, or if r is already assigned (call Unassign first to move a
+// request).
 func (w *Window) Assign(r *Request, res, round int) {
 	row := w.row(round)
 	if res < 0 || res >= w.n {
 		panic(fmt.Sprintf("core: resource %d outside [0,%d)", res, w.n))
 	}
-	if row[res] != nil {
-		panic(fmt.Sprintf("core: slot (%d,%d) already holds %v", res, round, row[res]))
+	cell := res
+	if w.occ == nil {
+		if row[res] != nil {
+			panic(fmt.Sprintf("core: slot (%d,%d) already holds %v", res, round, row[res]))
+		}
+	} else {
+		capc := int32(w.model.Cap)
+		for rr := round; rr < round+w.model.Hold; rr++ {
+			if w.occ[rr%w.occLen][res] >= capc {
+				panic(fmt.Sprintf("core: resource %d at capacity in round %d for start at round %d", res, rr, round))
+			}
+		}
+		// A storage cell must exist: assignments starting this round are a
+		// subset of this round's occupancy, which is below Cap.
+		cell = -1
+		c0 := res * w.model.Cap
+		for c := c0; c < c0+w.model.Cap; c++ {
+			if row[c] == nil {
+				cell = c
+				break
+			}
+		}
+		if cell < 0 {
+			panic(fmt.Sprintf("core: no free cell on resource %d at round %d", res, round))
+		}
 	}
 	if round > r.Deadline() {
 		panic(fmt.Sprintf("core: %v assigned past deadline at round %d", r, round))
@@ -95,17 +225,35 @@ func (w *Window) Assign(r *Request, res, round int) {
 	if ref, ok := w.where[r.ID]; ok {
 		panic(fmt.Sprintf("core: %v already assigned at (%d,%d)", r, ref.res, ref.round))
 	}
-	row[res] = r
-	w.where[r.ID] = slotRef{res, round}
+	row[cell] = r
+	w.where[r.ID] = slotRef{res, round, cell}
+	if w.occ != nil {
+		w.occAdd(res, round, 1)
+	}
 }
 
-// Unassign releases the slot held by r, if any.
+// Unassign releases the slot held by r, if any, freeing its occupancy.
 func (w *Window) Unassign(r *Request) {
 	ref, ok := w.where[r.ID]
 	if !ok {
 		return
 	}
-	w.rows[ref.round%w.depth][ref.res] = nil
+	w.rows[ref.round%w.depth][ref.cell] = nil
+	delete(w.where, r.ID)
+	if w.occ != nil {
+		w.occAdd(ref.res, ref.round, -1)
+	}
+}
+
+// consume removes r's assignment because the engine is serving it now: the
+// storage cell is released but — unlike Unassign — the occupancy of the hold
+// span [round, round+Hold) stays busy until those rounds slide past.
+func (w *Window) consume(r *Request) {
+	ref, ok := w.where[r.ID]
+	if !ok {
+		return
+	}
+	w.rows[ref.round%w.depth][ref.cell] = nil
 	delete(w.where, r.ID)
 }
 
@@ -120,11 +268,12 @@ func (w *Window) Snapshot() []Assignment {
 // as Snapshot. Callers that snapshot every round pass a reused buffer
 // (dst[:0]) to avoid the per-round allocation.
 func (w *Window) AppendAssignments(dst []Assignment) []Assignment {
+	capc := w.model.Cap
 	for round := w.t; round < w.t+w.depth; round++ {
 		row := w.rows[round%w.depth]
-		for res, r := range row {
+		for cell, r := range row {
 			if r != nil {
-				dst = append(dst, Assignment{Req: r, Res: res, Round: round})
+				dst = append(dst, Assignment{Req: r, Res: cell / capc, Round: round})
 			}
 		}
 	}
@@ -136,8 +285,14 @@ func (w *Window) NumAssigned() int { return len(w.where) }
 
 // Reset clears every assignment in the window, keeping the allocated storage.
 // Strategies that recompute their matching from scratch each round (A_eager,
-// A_balance) snapshot, reset and re-apply.
+// A_balance) snapshot, reset and re-apply. Occupancy held by already-served
+// requests survives a Reset — only planned assignments are withdrawn.
 func (w *Window) Reset() {
+	if w.occ != nil {
+		for _, ref := range w.where {
+			w.occAdd(ref.res, ref.round, -1)
+		}
+	}
 	for _, row := range w.rows {
 		for i := range row {
 			row[i] = nil
@@ -172,8 +327,13 @@ func (w *Window) advance() {
 	row := w.rows[w.t%w.depth]
 	for i, r := range row {
 		if r != nil {
-			panic(fmt.Sprintf("core: advancing over unconsumed slot (%d,%d)=%v", i, w.t, r))
+			panic(fmt.Sprintf("core: advancing over unconsumed slot (%d,%d)=%v", i/w.model.Cap, w.t, r))
 		}
+	}
+	if w.occ != nil {
+		// Round t is leaving the window; its occupancy index will be reused
+		// for round t+occLen, which must start empty.
+		clear(w.occ[w.t%w.occLen])
 	}
 	w.t++
 }

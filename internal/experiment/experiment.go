@@ -150,7 +150,17 @@ func strategyFactory(name string) (func() core.Strategy, bool) {
 func allStrategies() map[string]func() core.Strategy {
 	m := make(map[string]func() core.Strategy)
 	for _, c := range registry.All(registry.KindStrategy) {
-		if len(c.Params) > 0 {
+		// Grouped parameters (the shared service-model group) don't make a
+		// strategy "parameterized" — only a schema of its own (seeds, axes)
+		// does.
+		own := false
+		for _, p := range c.Params {
+			if p.Group == "" {
+				own = true
+				break
+			}
+		}
+		if own {
 			continue
 		}
 		name := c.Name

@@ -83,6 +83,12 @@ type BuildSpec struct {
 	Items     int `json:"items,omitempty"`
 	MaxW      int `json:"maxw,omitempty"`
 	TrapEvery int `json:"trap_every,omitempty"`
+	// Service-model parameters (the registry ModelParams group and the
+	// reusable/hold_squeeze families). Zero means unset — the unit model —
+	// so pre-model specs keep their job IDs.
+	Hold int     `json:"hold,omitempty"`
+	Cap  int     `json:"cap,omitempty"`
+	Load float64 `json:"load,omitempty"`
 }
 
 // specFields maps registry parameter names onto BuildSpec fields. Every
@@ -111,6 +117,9 @@ var specFields = map[string]struct {
 	"maxw":   {func(b *BuildSpec) registry.Value { return registry.IntVal(int64(b.MaxW)) }, func(b *BuildSpec, v registry.Value) { b.MaxW = int(v.I) }},
 	"trap_every": {func(b *BuildSpec) registry.Value { return registry.IntVal(int64(b.TrapEvery)) },
 		func(b *BuildSpec, v registry.Value) { b.TrapEvery = int(v.I) }},
+	"hold": {func(b *BuildSpec) registry.Value { return registry.IntVal(int64(b.Hold)) }, func(b *BuildSpec, v registry.Value) { b.Hold = int(v.I) }},
+	"cap":  {func(b *BuildSpec) registry.Value { return registry.IntVal(int64(b.Cap)) }, func(b *BuildSpec, v registry.Value) { b.Cap = int(v.I) }},
+	"load": {func(b *BuildSpec) registry.Value { return registry.FloatVal(b.Load) }, func(b *BuildSpec, v registry.Value) { b.Load = v.F }},
 }
 
 // SpecFieldNames lists the registry parameter names BuildSpec can carry —

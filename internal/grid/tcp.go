@@ -293,8 +293,8 @@ type tcpConn struct {
 	stalled   atomic.Bool // a LinkStall fired: the link is silent but looks up
 }
 
-func (c *tcpConn) Addr() string              { return c.addr }
-func (c *tcpConn) Lines() <-chan procLine    { return c.lines }
+func (c *tcpConn) Addr() string           { return c.addr }
+func (c *tcpConn) Lines() <-chan procLine { return c.lines }
 
 func (c *tcpConn) Close() {
 	c.closeOnce.Do(func() {

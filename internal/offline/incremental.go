@@ -20,28 +20,44 @@ import (
 // of per-sealed-segment. Not safe for concurrent use.
 type IncrementalOpt struct {
 	n       int
+	capc    int
+	hold    int
 	inc     *matching.Incremental
-	base    int     // absolute round of right-vertex row 0; valid when started
+	base    int     // absolute epoch of right-vertex row 0; valid when started
 	started bool    // base has been fixed for the open segment
 	adj     []int32 // per-request neighbor buffer, reused
 	count   int     // requests fed since the last Seal
 }
 
-// NewIncrementalOpt returns an incremental optimum tracker for n resources.
+// NewIncrementalOpt returns an incremental optimum tracker for n resources
+// under the unit service model.
 func NewIncrementalOpt(n int) *IncrementalOpt {
-	return &IncrementalOpt{n: n, inc: matching.NewIncremental()}
+	return NewIncrementalOptModel(n, core.UnitModel())
 }
 
-// Rebase fixes the slot-row origin of the next open segment explicitly, so
-// its requests may then be fed in any order as long as none arrives before
-// base — the shape the reordering property tests exercise. Only valid while
-// no segment is open; without it, Add anchors base to its first request and
-// requires nondecreasing arrival rounds.
+// NewIncrementalOptModel returns an incremental optimum tracker for n
+// resources under service model m: right vertices are the (epoch, resource,
+// unit) slots of the epoch relaxation, so a sealed segment reports bit for
+// bit the same optimum as the batch solvers under the same model.
+func NewIncrementalOptModel(n int, m core.ServiceModel) *IncrementalOpt {
+	m = m.Norm()
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return &IncrementalOpt{n: n, capc: m.Cap, hold: m.Hold, inc: matching.NewIncremental()}
+}
+
+// Rebase fixes the slot-row origin of the next open segment explicitly (a
+// round; rows start at its epoch), so its requests may then be fed in any
+// order as long as none arrives before base — the shape the reordering
+// property tests exercise. Only valid while no segment is open; without it,
+// Add anchors base to its first request and requires nondecreasing arrival
+// rounds.
 func (o *IncrementalOpt) Rebase(base int) {
 	if o.count > 0 {
 		panic("offline: Rebase with an open segment")
 	}
-	o.base, o.started = base, true
+	o.base, o.started = base/o.hold, true
 }
 
 // Add feeds one request — arrival round t, deadline window d, resource
@@ -51,16 +67,18 @@ func (o *IncrementalOpt) Rebase(base int) {
 // within a segment (unless Rebase fixed an earlier origin); t may jump
 // backwards only across a Seal.
 func (o *IncrementalOpt) Add(t, d int, alts []int) bool {
+	eLo, eHi := t/o.hold, (t+d-1)/o.hold
 	if !o.started {
-		o.base, o.started = t, true
+		o.base, o.started = eLo, true
 	}
 	o.count++
-	hi := t + d - 1
-	o.inc.EnsureRight((hi - o.base + 1) * o.n)
+	o.inc.EnsureRight((eHi - o.base + 1) * o.n * o.capc)
 	o.adj = o.adj[:0]
 	for _, a := range alts {
-		for tt := t; tt <= hi; tt++ {
-			o.adj = append(o.adj, int32((tt-o.base)*o.n+a))
+		for e := eLo; e <= eHi; e++ {
+			for u := 0; u < o.capc; u++ {
+				o.adj = append(o.adj, int32(((e-o.base)*o.n+a)*o.capc+u))
+			}
 		}
 	}
 	return o.inc.AddLeft(o.adj)
@@ -94,7 +112,7 @@ func (o *IncrementalOpt) Seal() int {
 // unnecessary for the value: maximum matching decomposes over independent
 // pieces whether or not the matcher is rewound between them.
 func OptimumIncremental(tr *core.Trace) int {
-	o := NewIncrementalOpt(tr.N)
+	o := NewIncrementalOptModel(tr.N, tr.Model)
 	opt := 0
 	maxDL := -1
 	for t := range tr.Arrivals {
@@ -104,7 +122,8 @@ func OptimumIncremental(tr *core.Trace) int {
 		}
 		// Seal at clean cuts so right-vertex rows restart at the new base and
 		// memory stays proportional to the widest open window, not the horizon.
-		if o.Count() > 0 && t > maxDL {
+		// Cuts must be epoch-aligned so no epoch slot spans the seal.
+		if o.Count() > 0 && t > maxDL && t%o.hold == 0 {
 			opt += o.Seal()
 		}
 		for i := range rs {
@@ -132,5 +151,5 @@ func NewSolver() *Solver { return &Solver{ss: newSegSolver()} }
 
 // Optimum returns exactly Optimum(tr), reusing the solver's scratch.
 func (s *Solver) Optimum(tr *core.Trace) int {
-	return int(s.ss.cardinality(tr.N, wholeTraceSegment(tr)))
+	return int(s.ss.cardinality(spaceOf(tr), wholeTraceSegment(tr)))
 }

@@ -10,24 +10,51 @@ import (
 )
 
 // SlotIndex maps the slot of resource res at round t to its right-vertex
-// index in the request/slot graph of a trace over n resources.
+// index in the request/slot graph of a trace over n resources (unit service
+// model; see epochSlot for the general form).
 func SlotIndex(n, res, t int) int { return t*n + res }
 
 // SlotOf inverts SlotIndex.
 func SlotOf(n, idx int) (res, t int) { return idx % n, idx / n }
 
+// Offline optima under a general core.ServiceModel are computed in the *epoch
+// relaxation*: time is cut into epochs of Hold rounds, each (epoch, resource)
+// pair carries Cap capacity-unit slots, and a request is admissible in every
+// epoch its deadline window touches. This upper-bounds every engine-feasible
+// schedule — service starts on one capacity unit are at least Hold rounds
+// apart, and floor((t+Hold)/Hold) = floor(t/Hold)+1, so the starts of any
+// feasible schedule map injectively to distinct epoch slots. At hold=1 the
+// relaxation is exact for any capacity (slots of one round are independent),
+// and at the unit model the graph below is the legacy request/slot graph
+// vertex for vertex, edge for edge.
+
+// epochSlot maps capacity unit u of resource res in epoch e to its
+// right-vertex index.
+func epochSlot(n, capc, res, e, u int) int { return (e*n+res)*capc + u }
+
+// epochSlotOf inverts epochSlot, dropping the (interchangeable) unit.
+func epochSlotOf(n, capc, idx int) (res, e int) { return (idx / capc) % n, idx / (n * capc) }
+
 // BuildGraph constructs the full bipartite graph of a trace: left vertices
-// are requests in ID order; right vertices are all (resource, round) slots up
-// to the trace horizon. Each request is adjacent to the slots of its
-// alternatives (in listed order) during its deadline window, earliest round
+// are requests in ID order; right vertices are all (epoch, resource, unit)
+// slots up to the trace horizon — under the unit model, exactly the
+// (resource, round) slots. Each request is adjacent to the slots of its
+// alternatives (in listed order) during its deadline window, earliest epoch
 // first — the same deterministic edge order the online strategies use.
 func BuildGraph(tr *core.Trace) *matching.Graph {
+	m := tr.Model.Norm()
 	horizon := tr.Horizon()
-	g := matching.NewGraph(tr.NumRequests(), horizon*tr.N)
+	epochs := 0
+	if horizon > 0 {
+		epochs = (horizon-1)/m.Hold + 1
+	}
+	g := matching.NewGraph(tr.NumRequests(), epochs*tr.N*m.Cap)
 	for _, r := range tr.Requests() {
 		for _, a := range r.Alts {
-			for t := r.Arrive; t <= r.Deadline(); t++ {
-				g.AddEdge(r.ID, SlotIndex(tr.N, a, t))
+			for e := r.Arrive / m.Hold; e <= r.Deadline()/m.Hold; e++ {
+				for u := 0; u < m.Cap; u++ {
+					g.AddEdge(r.ID, epochSlot(tr.N, m.Cap, a, e, u))
+				}
 			}
 		}
 	}
@@ -50,7 +77,11 @@ func OptimumMatching(tr *core.Trace) (*matching.Matching, int) {
 
 // OptimumSchedule converts an optimal matching into a fulfillment log,
 // suitable for core.ValidateLog and for diffing against an online schedule.
+// Under hold > 1 the log is the epoch relaxation's schedule — each service is
+// stamped at its epoch start (clamped to the request's arrival) and the log
+// is an upper bound, not necessarily engine-feasible round for round.
 func OptimumSchedule(tr *core.Trace) []core.Fulfillment {
+	sm := tr.Model.Norm()
 	m, _ := OptimumMatching(tr)
 	reqs := tr.Requests()
 	var log []core.Fulfillment
@@ -58,7 +89,11 @@ func OptimumSchedule(tr *core.Trace) []core.Fulfillment {
 		if r == matching.None {
 			continue
 		}
-		res, t := SlotOf(tr.N, int(r))
+		res, e := epochSlotOf(tr.N, sm.Cap, int(r))
+		t := e * sm.Hold
+		if t < reqs[l].Arrive {
+			t = reqs[l].Arrive
+		}
 		log = append(log, core.Fulfillment{Req: reqs[l], Res: res, Round: t})
 	}
 	return log
@@ -80,17 +115,23 @@ func OptimumByFlow(tr *core.Trace) int {
 // Useful as the latency baseline for the examples: the online strategies'
 // mean latency can be compared against the best any schedule of maximum
 // throughput could do.
+// Under a general service model latency is measured in the epoch relaxation:
+// a request arriving in epoch eA served in epoch e costs (e−eA)·Hold rounds —
+// per-vertex decomposable (−eA·Hold on the request side, e·Hold on the slot
+// side), never negative, and exactly (service round − arrival round) at the
+// unit model.
 func OptimumMinLatency(tr *core.Trace) ([]core.Fulfillment, int) {
+	sm := tr.Model.Norm()
 	g := BuildGraph(tr)
 	reqs := tr.Requests()
 	arrive := make([]int64, len(reqs))
 	for i, r := range reqs {
-		arrive[i] = -int64(r.Arrive)
+		arrive[i] = -int64(r.Arrive / sm.Hold * sm.Hold)
 	}
 	costs := make([]int64, g.NRight())
 	for idx := range costs {
-		_, t := SlotOf(tr.N, idx)
-		costs[idx] = int64(t)
+		_, e := epochSlotOf(tr.N, sm.Cap, idx)
+		costs[idx] = int64(e * sm.Hold)
 	}
 	m := matching.MinCostMatchingLR(g, arrive, costs)
 	var log []core.Fulfillment
@@ -99,9 +140,13 @@ func OptimumMinLatency(tr *core.Trace) ([]core.Fulfillment, int) {
 		if r == matching.None {
 			continue
 		}
-		res, t := SlotOf(tr.N, int(r))
+		res, e := epochSlotOf(tr.N, sm.Cap, int(r))
+		t := e * sm.Hold
+		latency += t - reqs[l].Arrive/sm.Hold*sm.Hold
+		if t < reqs[l].Arrive {
+			t = reqs[l].Arrive
+		}
 		log = append(log, core.Fulfillment{Req: reqs[l], Res: res, Round: t})
-		latency += t - reqs[l].Arrive
 	}
 	return log, latency
 }
@@ -131,6 +176,9 @@ func MaxProfit(tr *core.Trace) int {
 // name several resources, a request already taken by a lower-indexed resource
 // this round is skipped by higher-indexed ones.
 func EarliestDeadlineSchedule(tr *core.Trace) int {
+	if !tr.Model.IsUnit() {
+		panic("offline: EarliestDeadlineSchedule supports the unit service model only")
+	}
 	horizon := tr.Horizon()
 	// perResource[i] holds live request pointers naming resource i. Request
 	// IDs are dense (0..NumRequests-1), so served is a flat bitmap rather

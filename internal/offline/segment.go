@@ -32,11 +32,14 @@ type Segment struct {
 
 // SegmentTrace cuts tr at every round boundary no request's deadline window
 // crosses: a boundary before round t is clean when every request that arrived
-// earlier has a deadline before t. Arrivals are stored in round order, so one
-// pass tracking the running maximum deadline finds all clean cuts in
-// O(requests + horizon). Traces with permanently overlapping windows yield a
-// single segment; callers that still want to decompose them use Components.
+// earlier has a deadline before t. Under hold > 1 a cut must additionally be
+// epoch-aligned (t a multiple of Hold) so no epoch slot is shared across the
+// cut. Arrivals are stored in round order, so one pass tracking the running
+// maximum deadline finds all clean cuts in O(requests + horizon). Traces with
+// permanently overlapping windows yield a single segment; callers that still
+// want to decompose them use Components.
 func SegmentTrace(tr *core.Trace) []Segment {
+	hold := tr.Model.Norm().Hold
 	var segs []Segment
 	var cur []*core.Request
 	lo, maxDL := 0, -1
@@ -45,7 +48,7 @@ func SegmentTrace(tr *core.Trace) []Segment {
 		if len(rs) == 0 {
 			continue
 		}
-		if len(cur) > 0 && t > maxDL {
+		if len(cur) > 0 && t > maxDL && t%hold == 0 {
 			segs = append(segs, Segment{Lo: lo, Hi: maxDL, Reqs: cur})
 			cur = nil
 		}
@@ -69,12 +72,20 @@ func SegmentTrace(tr *core.Trace) []Segment {
 // Components decomposes tr into the connected components of its request/slot
 // graph with a union-find over slots — the exact decomposition even when
 // deadline windows overlap everywhere and no clean time cut exists (e.g.
-// resource-disjoint request populations). Components are returned in order of
-// their lowest request ID; each component's Lo/Hi bound its requests' windows,
-// though components may overlap in time.
+// resource-disjoint request populations). The union-find runs over (epoch,
+// resource) slots — under the unit model, exactly the (round, resource) slots;
+// the capacity units of one slot are interchangeable and never split across
+// components. Components are returned in order of their lowest request ID;
+// each component's Lo/Hi bound its requests' windows, though components may
+// overlap in time.
 func Components(tr *core.Trace) []Segment {
 	n := tr.N
-	parent := make([]int32, tr.Horizon()*n)
+	hold := tr.Model.Norm().Hold
+	epochs := 0
+	if h := tr.Horizon(); h > 0 {
+		epochs = (h-1)/hold + 1
+	}
+	parent := make([]int32, epochs*n)
 	for i := range parent {
 		parent[i] = int32(i)
 	}
@@ -93,11 +104,11 @@ func Components(tr *core.Trace) []Segment {
 	}
 	reqs := tr.Requests()
 	for _, r := range reqs {
-		first := int32(SlotIndex(n, r.Alts[0], r.Arrive))
-		lo, hi := r.Arrive, r.Deadline()
+		first := int32(SlotIndex(n, r.Alts[0], r.Arrive/hold))
+		lo, hi := r.Arrive/hold, r.Deadline()/hold
 		for _, a := range r.Alts {
-			for t := lo; t <= hi; t++ {
-				union(first, int32(SlotIndex(n, a, t)))
+			for e := lo; e <= hi; e++ {
+				union(first, int32(SlotIndex(n, a, e)))
 			}
 		}
 	}
@@ -105,7 +116,7 @@ func Components(tr *core.Trace) []Segment {
 	index := make(map[int32]int)
 	var segs []Segment
 	for _, r := range reqs {
-		root := find(int32(SlotIndex(n, r.Alts[0], r.Arrive)))
+		root := find(int32(SlotIndex(n, r.Alts[0], r.Arrive/hold)))
 		i, ok := index[root]
 		if !ok {
 			i = len(segs)
@@ -143,29 +154,46 @@ type segSolver struct {
 
 func newSegSolver() *segSolver { return &segSolver{slotIDs: make(map[int]int32)} }
 
+// space is the slot geometry a segment is solved in: n resources under a
+// normalized service model. Under the unit model (capc=1, hold=1) every index
+// computation below reduces literally to the legacy round-slot arithmetic.
+type space struct {
+	n, capc, hold int
+}
+
+func spaceOf(tr *core.Trace) space {
+	m := tr.Model.Norm()
+	return space{n: tr.N, capc: m.Cap, hold: m.Hold}
+}
+
 // build constructs the segment's bipartite graph into the solver's reusable
-// storage. Right vertices are the segment's slots: remapped arithmetically
-// into the [Lo, Hi] × n rectangle when the segment covers it densely, or
+// storage. Right vertices are the segment's (epoch, resource, unit) slots —
+// under the unit model, the (round, resource) slots: remapped arithmetically
+// into the [Lo, Hi] × n × cap rectangle when the segment covers it densely, or
 // through first-seen compact numbering when the segment is sparse in its span
 // (union-find components interleaved with others), so a component never pays
 // for rounds it does not touch. When slotMeta is set, absRes/absT record each
-// right vertex's absolute (resource, round) coordinates — the inverse mapping
+// right vertex's absolute resource and epoch-start round — the inverse mapping
 // the min-latency objective needs for costs and fulfillment logs. Objective
 // values (cardinality, profit, min latency) do not depend on the remapping or
 // the edge order, so sums over segments equal the monolithic solvers exactly.
-func (ss *segSolver) build(n int, seg Segment, slotMeta bool) {
+func (ss *segSolver) build(sp space, seg Segment, slotMeta bool) {
+	n, capc, hold := sp.n, sp.capc, sp.hold
 	edges := 0
 	for _, r := range seg.Reqs {
-		edges += len(r.Alts) * (r.Deadline() - r.Arrive + 1)
+		edges += len(r.Alts) * (r.Deadline()/hold - r.Arrive/hold + 1) * capc
 	}
 	g := &ss.g
-	if rect := (seg.Hi - seg.Lo + 1) * n; rect <= 4*edges {
+	eSegLo, eSegHi := seg.Lo/hold, seg.Hi/hold
+	if rect := (eSegHi - eSegLo + 1) * n * capc; rect <= 4*edges {
 		g.Reset(len(seg.Reqs), rect)
 		for l, r := range seg.Reqs {
-			lo, hi := r.Arrive, r.Deadline()
+			lo, hi := r.Arrive/hold, r.Deadline()/hold
 			for _, a := range r.Alts {
-				for t := lo; t <= hi; t++ {
-					g.AddEdge(l, (t-seg.Lo)*n+a)
+				for e := lo; e <= hi; e++ {
+					for u := 0; u < capc; u++ {
+						g.AddEdge(l, ((e-eSegLo)*n+a)*capc+u)
+					}
 				}
 			}
 		}
@@ -173,21 +201,21 @@ func (ss *segSolver) build(n int, seg Segment, slotMeta bool) {
 			ss.absRes = growInt32(ss.absRes, rect)
 			ss.absT = growInt32(ss.absT, rect)
 			for idx := 0; idx < rect; idx++ {
-				ss.absRes[idx] = int32(idx % n)
-				ss.absT[idx] = int32(seg.Lo + idx/n)
+				ss.absRes[idx] = int32((idx / capc) % n)
+				ss.absT[idx] = int32((eSegLo + idx/(n*capc)) * hold)
 			}
 		}
 	} else {
 		clear(ss.slotIDs)
 		nRight := 0
 		for _, r := range seg.Reqs {
-			lo, hi := r.Arrive, r.Deadline()
+			lo, hi := r.Arrive/hold, r.Deadline()/hold
 			for _, a := range r.Alts {
-				for t := lo; t <= hi; t++ {
-					s := SlotIndex(n, a, t)
+				for e := lo; e <= hi; e++ {
+					s := SlotIndex(n, a, e)
 					if _, ok := ss.slotIDs[s]; !ok {
 						ss.slotIDs[s] = int32(nRight)
-						nRight++
+						nRight += capc
 					}
 				}
 			}
@@ -198,14 +226,16 @@ func (ss *segSolver) build(n int, seg Segment, slotMeta bool) {
 			ss.absT = growInt32(ss.absT, nRight)
 		}
 		for l, r := range seg.Reqs {
-			lo, hi := r.Arrive, r.Deadline()
+			lo, hi := r.Arrive/hold, r.Deadline()/hold
 			for _, a := range r.Alts {
-				for t := lo; t <= hi; t++ {
-					idx := ss.slotIDs[SlotIndex(n, a, t)]
-					g.AddEdge(l, int(idx))
-					if slotMeta {
-						ss.absRes[idx] = int32(a)
-						ss.absT[idx] = int32(t)
+				for e := lo; e <= hi; e++ {
+					idx := ss.slotIDs[SlotIndex(n, a, e)]
+					for u := int32(0); u < int32(capc); u++ {
+						g.AddEdge(l, int(idx+u))
+						if slotMeta {
+							ss.absRes[idx+u] = int32(a)
+							ss.absT[idx+u] = int32(e * hold)
+						}
 					}
 				}
 			}
@@ -231,8 +261,8 @@ func growInt64(s []int64, n int) []int64 {
 
 // cardinality computes the maximum matching cardinality of one segment with
 // Hopcroft–Karp — the unweighted offline optimum of the piece.
-func (ss *segSolver) cardinality(n int, seg Segment) int64 {
-	ss.build(n, seg, false)
+func (ss *segSolver) cardinality(sp space, seg Segment) int64 {
+	ss.build(sp, seg, false)
 	ss.m.Reset(ss.g.NLeft(), ss.g.NRight())
 	ss.sc.HopcroftKarpExtend(&ss.g, &ss.m)
 	return int64(ss.m.Size())
@@ -240,8 +270,8 @@ func (ss *segSolver) cardinality(n int, seg Segment) int64 {
 
 // maxProfit computes the maximum total weight an offline schedule can serve
 // within one segment (the weighted objective's optimum for the piece).
-func (ss *segSolver) maxProfit(n int, seg Segment) int64 {
-	ss.build(n, seg, false)
+func (ss *segSolver) maxProfit(sp space, seg Segment) int64 {
+	ss.build(sp, seg, false)
 	ss.profit = growInt64(ss.profit, len(seg.Reqs))
 	for i, r := range seg.Reqs {
 		ss.profit[i] = int64(r.Weight())
@@ -257,12 +287,12 @@ func (ss *segSolver) maxProfit(n int, seg Segment) int64 {
 // a well-defined optimum value, so the sum over independent segments equals
 // the monolithic OptimumMinLatency latency exactly, whichever of the equally
 // cheap schedules either solver picks.
-func (ss *segSolver) minLatency(n int, seg Segment, log []core.Fulfillment) ([]core.Fulfillment, int64) {
-	ss.build(n, seg, true)
+func (ss *segSolver) minLatency(sp space, seg Segment, log []core.Fulfillment) ([]core.Fulfillment, int64) {
+	ss.build(sp, seg, true)
 	nl, nr := ss.g.NLeft(), ss.g.NRight()
 	ss.profit = growInt64(ss.profit, nl)
 	for i, r := range seg.Reqs {
-		ss.profit[i] = -int64(r.Arrive)
+		ss.profit[i] = -int64(r.Arrive / sp.hold * sp.hold)
 	}
 	ss.cost = growInt64(ss.cost, nr)
 	for idx := 0; idx < nr; idx++ {
@@ -276,8 +306,11 @@ func (ss *segSolver) minLatency(n int, seg Segment, log []core.Fulfillment) ([]c
 		}
 		req := seg.Reqs[l]
 		t := int(ss.absT[r])
+		latency += int64(t - req.Arrive/sp.hold*sp.hold)
+		if t < req.Arrive {
+			t = req.Arrive
+		}
 		log = append(log, core.Fulfillment{Req: req, Res: int(ss.absRes[r]), Round: t})
-		latency += int64(t - req.Arrive)
 	}
 	return log, latency
 }
@@ -300,7 +333,7 @@ func segments(tr *core.Trace) []Segment {
 // proportional to the largest segment rather than the horizon. workers <= 0
 // means GOMAXPROCS.
 func OptimumParallel(tr *core.Trace, workers int) int {
-	return int(sumSegments(tr.N, segments(tr), workers, (*segSolver).cardinality))
+	return int(sumSegments(spaceOf(tr), segments(tr), workers, (*segSolver).cardinality))
 }
 
 // MaxProfitParallel returns exactly MaxProfit(tr) — the weighted offline
@@ -309,7 +342,7 @@ func OptimumParallel(tr *core.Trace, workers int) int {
 // profit-improving path crosses between them), so the per-segment int64
 // profit folds sum to the monolithic value.
 func MaxProfitParallel(tr *core.Trace, workers int) int {
-	return int(sumSegments(tr.N, segments(tr), workers, (*segSolver).maxProfit))
+	return int(sumSegments(spaceOf(tr), segments(tr), workers, (*segSolver).maxProfit))
 }
 
 // OptimumMinLatencyParallel returns a schedule with OptimumMinLatency's exact
@@ -324,8 +357,8 @@ func OptimumMinLatencyParallel(tr *core.Trace, workers int) ([]core.Fulfillment,
 		log     []core.Fulfillment
 		latency int64
 	}
-	pieces := mapSegments(tr.N, segs, workers, func(ss *segSolver, n int, seg Segment) piece {
-		log, latency := ss.minLatency(n, seg, nil)
+	pieces := mapSegments(spaceOf(tr), segs, workers, func(ss *segSolver, sp space, seg Segment) piece {
+		log, latency := ss.minLatency(sp, seg, nil)
 		return piece{log, latency}
 	})
 	var log []core.Fulfillment
@@ -341,7 +374,7 @@ func OptimumMinLatencyParallel(tr *core.Trace, workers int) ([]core.Fulfillment,
 // sumSegments folds a per-segment int64 objective over a worker pool. The sum
 // is order-independent, so the result is deterministic regardless of
 // scheduling.
-func sumSegments(n int, segs []Segment, workers int, solve func(*segSolver, int, Segment) int64) int64 {
+func sumSegments(sp space, segs []Segment, workers int, solve func(*segSolver, space, Segment) int64) int64 {
 	if len(segs) == 0 {
 		return 0
 	}
@@ -355,7 +388,7 @@ func sumSegments(n int, segs []Segment, workers int, solve func(*segSolver, int,
 		ss := newSegSolver()
 		total := int64(0)
 		for _, seg := range segs {
-			total += solve(ss, n, seg)
+			total += solve(ss, sp, seg)
 		}
 		return total
 	}
@@ -375,7 +408,7 @@ func sumSegments(n int, segs []Segment, workers int, solve func(*segSolver, int,
 				if i >= len(segs) {
 					break
 				}
-				sum += solve(ss, n, segs[i])
+				sum += solve(ss, sp, segs[i])
 			}
 			total.Add(sum)
 		}()
@@ -389,7 +422,7 @@ func sumSegments(n int, segs []Segment, workers int, solve func(*segSolver, int,
 // structured per-segment results (min-latency logs) need. Workers claim
 // segments through an atomic cursor; results land at their segment's index,
 // so the output is deterministic regardless of scheduling.
-func mapSegments[T any](n int, segs []Segment, workers int, solve func(ss *segSolver, n int, seg Segment) T) []T {
+func mapSegments[T any](sp space, segs []Segment, workers int, solve func(ss *segSolver, sp space, seg Segment) T) []T {
 	out := make([]T, len(segs))
 	if len(segs) == 0 {
 		return out
@@ -403,7 +436,7 @@ func mapSegments[T any](n int, segs []Segment, workers int, solve func(ss *segSo
 	if workers <= 1 {
 		ss := newSegSolver()
 		for i, seg := range segs {
-			out[i] = solve(ss, n, seg)
+			out[i] = solve(ss, sp, seg)
 		}
 		return out
 	}
@@ -421,7 +454,7 @@ func mapSegments[T any](n int, segs []Segment, workers int, solve func(ss *segSo
 				if i >= len(segs) {
 					break
 				}
-				out[i] = solve(ss, n, segs[i])
+				out[i] = solve(ss, sp, segs[i])
 			}
 		}()
 	}
@@ -438,7 +471,7 @@ func wholeTraceSegment(tr *core.Trace) Segment {
 // independent sub-traces on a worker pool, holding at most workers+1 segments
 // in memory at once. The first error from the iterator stops consumption and
 // is returned after in-flight segments finish.
-func streamSegments(segments iter.Seq2[*core.Trace, error], workers int, solve func(*segSolver, int, Segment) int64) (total int64, nsegs int, err error) {
+func streamSegments(segments iter.Seq2[*core.Trace, error], workers int, solve func(*segSolver, space, Segment) int64) (total int64, nsegs int, err error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -454,7 +487,7 @@ func streamSegments(segments iter.Seq2[*core.Trace, error], workers int, solve f
 			ss := newSegSolver()
 			acc := int64(0)
 			for tr := range ch {
-				acc += solve(ss, tr.N, wholeTraceSegment(tr))
+				acc += solve(ss, spaceOf(tr), wholeTraceSegment(tr))
 			}
 			sum.Add(acc)
 		}()

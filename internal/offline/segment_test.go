@@ -197,10 +197,10 @@ func TestComponentsMatchSegmentsOnGappedTraces(t *testing.T) {
 	for trial := 0; trial < 50; trial++ {
 		tr := gappedTrace(rng, 3, 2, 3, 4)
 		want := Optimum(tr)
-		if got := int(sumSegments(tr.N, Components(tr), 3, (*segSolver).cardinality)); got != want {
+		if got := int(sumSegments(spaceOf(tr), Components(tr), 3, (*segSolver).cardinality)); got != want {
 			t.Fatalf("trial %d: components sum %d, Optimum %d", trial, got, want)
 		}
-		if got := int(sumSegments(tr.N, SegmentTrace(tr), 3, (*segSolver).cardinality)); got != want {
+		if got := int(sumSegments(spaceOf(tr), SegmentTrace(tr), 3, (*segSolver).cardinality)); got != want {
 			t.Fatalf("trial %d: segments sum %d, Optimum %d", trial, got, want)
 		}
 	}

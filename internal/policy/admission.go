@@ -40,6 +40,46 @@ func (b *BurstAdmission) Admit(ctx *core.RoundContext, _ *core.Request) bool {
 	return b.count <= b.K
 }
 
+// TokenBucketAdmission admits while the bucket has a token: Rate tokens
+// accrue per round up to Burst, one is spent per admitted request. Unlike
+// BurstAdmission's fixed per-round cap it lets idle rounds bank capacity, so
+// a burst up to Burst passes untrimmed while the long-run admitted rate stays
+// at Rate per round — classic rate limiting at the scheduling edge.
+type TokenBucketAdmission struct {
+	Rate  float64
+	Burst int
+
+	t      int
+	tokens float64
+}
+
+// Name implements Admission.
+func (*TokenBucketAdmission) Name() string { return "token_bucket" }
+
+// Begin implements Admission: the bucket starts full.
+func (b *TokenBucketAdmission) Begin(int, int) {
+	b.t = -1
+	b.tokens = float64(b.Burst)
+}
+
+// Admit implements Admission.
+func (b *TokenBucketAdmission) Admit(ctx *core.RoundContext, _ *core.Request) bool {
+	if ctx.T != b.t {
+		if b.t >= 0 {
+			b.tokens += b.Rate * float64(ctx.T-b.t)
+			if max := float64(b.Burst); b.tokens > max {
+				b.tokens = max
+			}
+		}
+		b.t = ctx.T
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
 // BacklogAdmission rejects arrivals while the unassigned backlog carried
 // from earlier rounds is at or above Limit — load shedding keyed to queue
 // depth rather than arrival rate, the engine-side analogue of the serve

@@ -99,9 +99,16 @@ func TestCanonicalCompositionsMatchLegacyOnAdversaries(t *testing.T) {
 					return
 				}
 				if c.Trace != nil {
-					legacy := reqsched.Run(reqsched.StrategyByName(j.pair[0]), c.Trace)
-					composed := reqsched.Run(reqsched.StrategyByName(j.pair[1]), c.Trace)
-					sameSchedule(t, label, legacy, composed)
+					legacy := reqsched.StrategyByName(j.pair[0])
+					composed := reqsched.StrategyByName(j.pair[1])
+					// Constructions for non-unit service models (hold_squeeze)
+					// only apply to model-aware pairs; skip the rest — the
+					// engine would reject them.
+					if core.CheckModelSupport(legacy, c.Trace.Model) != nil ||
+						core.CheckModelSupport(composed, c.Trace.Model) != nil {
+						return
+					}
+					sameSchedule(t, label, reqsched.Run(legacy, c.Trace), reqsched.Run(composed, c.Trace))
 					return
 				}
 				// Adaptive source: the construction generates the trace while

@@ -20,6 +20,7 @@
 package policy
 
 import (
+	"fmt"
 	"sort"
 
 	"reqsched/internal/core"
@@ -97,6 +98,16 @@ func NewComposite(name string, r Router, o QueueOrder, p Priority, a Admission) 
 
 // Name implements core.Strategy.
 func (c *Composite) Name() string { return c.name }
+
+// SupportsModel implements core.ModelSupporter by delegating to the router —
+// the only axis that touches window slots. Order, priority and admission read
+// at most Window.Assigned, which is model-agnostic.
+func (c *Composite) SupportsModel(m core.ServiceModel) error {
+	if ms, ok := c.router.(core.ModelSupporter); ok {
+		return ms.SupportsModel(m)
+	}
+	return fmt.Errorf("policy: router %q supports only the unit service model, not %s", c.router.Name(), m)
+}
 
 // Begin implements core.Strategy.
 func (c *Composite) Begin(n, d int) {

@@ -43,6 +43,11 @@ func (GreedyRouter) Name() string { return "greedy" }
 // Begin implements Router.
 func (GreedyRouter) Begin(int, int) {}
 
+// SupportsModel implements core.ModelSupporter: the scan through Window.Free
+// is occupancy-aware, so any service model is supported — greedy is the
+// Baek–Wang vehicle for the reusable-resources experiments.
+func (GreedyRouter) SupportsModel(core.ServiceModel) error { return nil }
+
 // Route implements Router.
 func (GreedyRouter) Route(ctx *core.RoundContext, queue []*core.Request) {
 	for _, r := range queue {
@@ -66,6 +71,9 @@ func (FirstFitRouter) Name() string { return "first_fit" }
 
 // Begin implements Router.
 func (FirstFitRouter) Begin(int, int) {}
+
+// SupportsModel implements core.ModelSupporter: first-fit scans free slots.
+func (FirstFitRouter) SupportsModel(core.ServiceModel) error { return nil }
 
 // Route implements Router.
 func (FirstFitRouter) Route(ctx *core.RoundContext, queue []*core.Request) {

@@ -123,6 +123,17 @@ func init() {
 		},
 	})
 	Register(Component{
+		Kind: KindAdversary, Name: "hold_squeeze",
+		Doc: "reusable-resources input forcing exactly 2 on the greedy router under hold=k, cap=1 (cf. arXiv 2304.03377)",
+		Params: []Param{
+			{Name: "hold", Doc: "service hold time in rounds (>= 2)", Type: Int, Default: IntVal(4), Min: Bound(2), Max: Bound(1024)},
+			phasesParam("gadget epochs (the ratio is exactly 2 at every count)"),
+		},
+		Build: func(p Params) adversary.Construction {
+			return adversary.HoldSqueeze(p.Int("hold"), p.Int("phases"))
+		},
+	})
+	Register(Component{
 		Kind: KindAdversary, Name: "edf",
 		Doc: "input family on which independent-copies EDF is exactly 2-competitive (Observation 3.2)",
 		Params: []Param{

@@ -80,6 +80,10 @@ type Param struct {
 	Default Value
 	// Min and Max are optional inclusive bounds (nil: unbounded).
 	Min, Max *float64
+	// Group optionally names a parameter group ("" is the component's own
+	// ungrouped schema). Describe renders each group under its own heading,
+	// e.g. the shared service-model group on every strategy and workload.
+	Group string
 }
 
 // Bound is a convenience for building *float64 range limits.

@@ -23,6 +23,14 @@ var (
 		Name: "limit", Doc: "backlog admission: carried unassigned backlog that closes intake", Type: Int,
 		Default: IntVal(64), Min: Bound(0),
 	}
+	tbRateParam = Param{
+		Name: "rate", Doc: "token_bucket admission: tokens refilled per round", Type: Float,
+		Default: FloatVal(8), Min: Bound(0),
+	}
+	tbBurstParam = Param{
+		Name: "burst", Doc: "token_bucket admission: bucket size (largest burst admitted untrimmed)", Type: Int,
+		Default: IntVal(16), Min: Bound(1),
+	}
 	sloBaseParam = Param{
 		Name: "base", Doc: "slo_age priority: base score", Type: Float,
 		Default: FloatVal(0),
@@ -112,6 +120,10 @@ func init() {
 		[]Param{backlogLimitParam}, func(p Params) policy.Admission {
 			return &policy.BacklogAdmission{Limit: p.Int("limit")}
 		})
+	admission("token bucket: rate tokens accrue per round up to burst, one spent per admitted request",
+		[]Param{tbRateParam, tbBurstParam}, func(p Params) policy.Admission {
+			return &policy.TokenBucketAdmission{Rate: p.Float("rate"), Burst: p.Int("burst")}
+		})
 
 	registerCompose()
 }
@@ -140,57 +152,71 @@ func registerCompose() {
 	comp := Component{
 		Kind: KindStrategy, Name: "compose",
 		Doc: "composed strategy: any router x order x admission x priority (see the axis kinds in -list)",
-		Params: []Param{
+		Params: append([]Param{
 			{Name: "router", Doc: "router axis: which resource serves", Type: Str, Default: StrVal("balance")},
 			{Name: "order", Doc: "order axis: which pending request first", Type: Str, Default: StrVal("fcfs")},
 			{Name: "admit", Doc: "admission axis: accept/reject on arrival", Type: Str, Default: StrVal("always")},
 			{Name: "prio", Doc: "priority axis: score feeding the order", Type: Str, Default: StrVal("constant")},
-			burstKParam, backlogLimitParam, sloBaseParam, sloAgeWeightParam,
-		},
-		Check: func(p Params) error {
-			if _, err := axis(KindRouter, p.Str("router")); err != nil {
-				return err
-			}
-			if _, err := axis(KindOrder, p.Str("order")); err != nil {
-				return err
-			}
-			if _, err := axis(KindAdmission, p.Str("admit")); err != nil {
-				return err
-			}
-			_, err := axis(KindPriority, p.Str("prio"))
-			return err
-		},
+			burstKParam, backlogLimitParam, tbRateParam, tbBurstParam, sloBaseParam, sloAgeWeightParam,
+		}, ModelParams()...),
 	}
-	comp.Strategy = func(p Params) core.Strategy {
-		// Check has validated the axis names; construction cannot fail.
-		must := func(err error) {
-			if err != nil {
-				panic(err)
-			}
-		}
+	build := func(p Params) (core.Strategy, error) {
 		rc, err := axis(KindRouter, p.Str("router"))
-		must(err)
+		if err != nil {
+			return nil, err
+		}
 		oc, err := axis(KindOrder, p.Str("order"))
-		must(err)
+		if err != nil {
+			return nil, err
+		}
 		ac, err := axis(KindAdmission, p.Str("admit"))
-		must(err)
+		if err != nil {
+			return nil, err
+		}
 		pc, err := axis(KindPriority, p.Str("prio"))
-		must(err)
+		if err != nil {
+			return nil, err
+		}
 		r, err := NewRouter(rc.Name, axisParams(rc, p))
-		must(err)
+		if err != nil {
+			return nil, err
+		}
 		o, err := NewOrder(oc.Name, axisParams(oc, p))
-		must(err)
+		if err != nil {
+			return nil, err
+		}
 		a, err := NewAdmission(ac.Name, axisParams(ac, p))
-		must(err)
+		if err != nil {
+			return nil, err
+		}
 		pr, err := NewPriority(pc.Name, axisParams(pc, p))
-		must(err)
+		if err != nil {
+			return nil, err
+		}
 		// The instance name is the round-trippable spec: "compose" plus the
 		// non-default parameters in canonical order.
 		name := "compose"
 		if fp := comp.FormatParams(p); fp != "" {
 			name += "," + fp
 		}
-		return policy.NewComposite(name, r, o, pr, a)
+		return policy.NewComposite(name, r, o, pr, a), nil
+	}
+	comp.Check = func(p Params) error {
+		s, err := build(p)
+		if err != nil {
+			return err
+		}
+		// The composite delegates model support to its router, so a
+		// "compose,router=balance,hold=2" spec fails here, at parse time.
+		return core.CheckModelSupport(s, ModelOf(p))
+	}
+	comp.Strategy = func(p Params) core.Strategy {
+		// Check has validated the axes; construction cannot fail.
+		s, err := build(p)
+		if err != nil {
+			panic(err)
+		}
+		return s
 	}
 	Register(comp)
 }

@@ -344,17 +344,41 @@ func ListedStrategies() map[string]core.Strategy {
 }
 
 // Describe renders a component's full card: name, kind, doc, and parameter
-// schema — the -describe output.
+// schema — the -describe output. Grouped parameters (Param.Group, e.g. the
+// service-model group) render under their own "<group> parameters:" heading
+// after the component's own schema, in first-appearance order, each line
+// still carrying the default and bounds.
 func (c Component) Describe() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s %q\n  %s\n", c.Kind, c.Name, c.Doc)
+	var own []Param
+	var groups []string
+	byGroup := map[string][]Param{}
+	for _, p := range c.Params {
+		if p.Group == "" {
+			own = append(own, p)
+			continue
+		}
+		if _, seen := byGroup[p.Group]; !seen {
+			groups = append(groups, p.Group)
+		}
+		byGroup[p.Group] = append(byGroup[p.Group], p)
+	}
 	if len(c.Params) == 0 {
 		sb.WriteString("  parameters: none\n")
 		return sb.String()
 	}
-	sb.WriteString("  parameters:\n")
-	for _, p := range c.Params {
-		fmt.Fprintf(&sb, "    %s\n", p)
+	if len(own) > 0 {
+		sb.WriteString("  parameters:\n")
+		for _, p := range own {
+			fmt.Fprintf(&sb, "    %s\n", p)
+		}
+	}
+	for _, g := range groups {
+		fmt.Fprintf(&sb, "  %s parameters:\n", g)
+		for _, p := range byGroup[g] {
+			fmt.Fprintf(&sb, "    %s\n", p)
+		}
 	}
 	return sb.String()
 }

@@ -58,6 +58,7 @@ func TestRegistryCompleteness(t *testing.T) {
 	wantAdversaries := []string{
 		"fix", "current", "current_factorial", "fix_balance", "eager",
 		"balance", "universal", "universal_anyd", "local_fix", "edf",
+		"hold_squeeze",
 	}
 	for _, name := range wantAdversaries {
 		if _, ok := Get(KindAdversary, name); !ok {
@@ -74,7 +75,7 @@ func TestRegistryCompleteness(t *testing.T) {
 
 	wantWorkloads := []string{
 		"uniform", "zipf", "bursty", "video", "single", "cchoice",
-		"mixed", "weighted", "trapmix",
+		"mixed", "weighted", "trapmix", "reusable",
 	}
 	for _, name := range wantWorkloads {
 		if _, ok := Get(KindWorkload, name); !ok {
@@ -126,7 +127,7 @@ func TestRegistryCompleteness(t *testing.T) {
 	if n := len(All(KindOrder)); n != len(wantOrders) {
 		t.Errorf("registry has %d orders, want %d", n, len(wantOrders))
 	}
-	wantAdmissions := []string{"always", "backlog", "burst"}
+	wantAdmissions := []string{"always", "backlog", "burst", "token_bucket"}
 	for _, name := range wantAdmissions {
 		if a, err := NewAdmission(name, nil); err != nil {
 			t.Errorf("NewAdmission(%q): %v", name, err)

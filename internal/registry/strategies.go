@@ -11,11 +11,18 @@ var seedParam = Param{
 	Name: "seed", Doc: "random seed", Type: Int, Default: IntVal(1),
 }
 
-// strategy registers a parameterless strategy under its Name().
+// strategy registers a parameterless strategy under its Name(). Every
+// strategy schema carries the service-model group: the values do not change
+// construction (the run's model comes from the trace, or serve's -hold/-cap
+// flags), but "name,hold=k,cap=c" specs validate the strategy's support up
+// front, so every frontend rejects unsupported combinations at parse time.
 func strategy(doc string, listed bool, mk func() core.Strategy) {
+	ctor := func(Params) core.Strategy { return mk() }
 	Register(Component{
 		Kind: KindStrategy, Name: mk().Name(), Doc: doc, Listed: listed,
-		Strategy: func(Params) core.Strategy { return mk() },
+		Params:   ModelParams(),
+		Check:    modelCheck(ctor),
+		Strategy: ctor,
 	})
 }
 
@@ -54,20 +61,24 @@ func init() {
 		false, func() core.Strategy { return strategies.NewEagerWeighted() })
 
 	// Randomized strategies (unlisted: parameterized by a seed).
+	randomFit := func(p Params) core.Strategy {
+		return strategies.NewRandomFit(p.Int64("seed"))
+	}
 	Register(Component{
 		Kind: KindStrategy, Name: "random_fit",
-		Doc:    "seeded random-slot baseline",
-		Params: []Param{seedParam},
-		Strategy: func(p Params) core.Strategy {
-			return strategies.NewRandomFit(p.Int64("seed"))
-		},
+		Doc:      "seeded random-slot baseline",
+		Params:   append([]Param{seedParam}, ModelParams()...),
+		Check:    modelCheck(randomFit),
+		Strategy: randomFit,
 	})
+	ranking := func(p Params) core.Strategy {
+		return strategies.NewRanking(p.Int64("seed"))
+	}
 	Register(Component{
 		Kind: KindStrategy, Name: "ranking",
-		Doc:    "RANKING-style randomized strategy: random fixed slot ranks, greedy minimum-rank assignment [KVV90]",
-		Params: []Param{seedParam},
-		Strategy: func(p Params) core.Strategy {
-			return strategies.NewRanking(p.Int64("seed"))
-		},
+		Doc:      "RANKING-style randomized strategy: random fixed slot ranks, greedy minimum-rank assignment [KVV90]",
+		Params:   append([]Param{seedParam}, ModelParams()...),
+		Check:    modelCheck(ranking),
+		Strategy: ranking,
 	})
 }

@@ -35,9 +35,19 @@ func generator(name, doc string, extra []Param, gen func(Params) *core.Trace) {
 func generatorChecked(name, doc string, extra []Param, check func(Params) error, gen func(Params) *core.Trace) {
 	Register(Component{
 		Kind: KindWorkload, Name: name, Doc: doc,
-		Params:   append(baseParams(), extra...),
-		Check:    check,
-		Generate: gen,
+		Params: append(append(baseParams(), extra...), ModelParams()...),
+		Check:  check,
+		// Every workload runs under any service model: the generator shapes
+		// the arrivals, the model group stamps the trace. The zero (unit)
+		// model is left as the zero value so default traces stay bit-identical
+		// to the pre-model format.
+		Generate: func(p Params) *core.Trace {
+			tr := gen(p)
+			if m := ModelOf(p); !m.IsUnit() {
+				tr.Model = m
+			}
+			return tr
+		},
 	})
 }
 
@@ -87,4 +97,10 @@ func init() {
 	generator("trapmix", "random background traffic with Theorem 2.1-style traps embedded every trap_every rounds",
 		[]Param{{Name: "trap_every", Doc: "rounds between embedded traps", Type: Int, Default: IntVal(20), Min: Bound(1)}},
 		func(p Params) *core.Trace { return workload.TrapMix(cfgOf(p), p.Int("trap_every")) })
+	generator("reusable", "two-choice traffic sized to the service model's capacity (rate 0: load x n x cap / hold)",
+		[]Param{{Name: "load", Doc: "target utilization of the model's n*cap/hold starts per round (used when rate = 0)",
+			Type: Float, Default: FloatVal(0.9), Min: Bound(0)}},
+		func(p Params) *core.Trace {
+			return workload.Reusable(cfgOf(p), ModelOf(p), p.Float("load"))
+		})
 }

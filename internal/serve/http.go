@@ -322,6 +322,12 @@ func writePrometheus(w io.Writer, m Metrics) {
 	for i, c := range m.Resources {
 		fmt.Fprintf(w, "reqsched_resource_served_total{resource=\"%d\"} %d\n", i, c)
 	}
+	if len(m.Occupancy) > 0 {
+		fmt.Fprintf(w, "# HELP reqsched_resource_occupancy Busy capacity units per resource at the current round.\n# TYPE reqsched_resource_occupancy gauge\n")
+		for i, c := range m.Occupancy {
+			fmt.Fprintf(w, "reqsched_resource_occupancy{resource=\"%d\"} %d\n", i, c)
+		}
+	}
 	if m.Latency.Samples > 0 {
 		fmt.Fprintf(w, "# HELP reqsched_latency_rounds Service latency in rounds.\n# TYPE reqsched_latency_rounds summary\n")
 		for _, q := range []struct {

@@ -40,6 +40,10 @@ type Config struct {
 	// Strategy.Name()).
 	Strategy     core.Strategy
 	StrategyName string
+	// Model is the service model the engine runs under (zero value: unit).
+	// The strategy must support it — New returns the CheckModelSupport error
+	// otherwise.
+	Model core.ServiceModel
 	// Virtual selects the deterministic clock: each record's T field is its
 	// authoritative arrival round and the engine advances lazily as larger
 	// rounds arrive. Without it the daemon runs on a wall clock: a ticker
@@ -154,6 +158,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Strategy == nil {
 		return nil, fmt.Errorf("serve: no strategy configured")
 	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	cfg.Model = cfg.Model.Norm()
+	if err := core.CheckModelSupport(cfg.Strategy, cfg.Model); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	if cfg.MaxD == 0 {
 		cfg.MaxD = cfg.D
 	}
@@ -187,7 +198,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		hist:     stats.NewHistogram(cfg.MaxD),
-		cutter:   trace.NewSegmentCutter(cfg.N, cfg.D),
+		cutter:   trace.NewSegmentCutterModel(cfg.N, cfg.D, cfg.Model),
 		segMaxDL: -1,
 		optCh:    make(chan optJob, 256),
 		stop:     make(chan struct{}),
@@ -195,7 +206,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Stripes > 1 {
 		s.sq = newStripedQueue(cfg.Stripes)
 	}
-	s.st = core.NewStepper(cfg.Strategy, cfg.N, cfg.D, cfg.MaxD)
+	s.st = core.NewStepperModel(cfg.Strategy, cfg.N, cfg.D, cfg.MaxD, cfg.Model)
 	s.st.KeepLog = cfg.KeepLog
 	s.st.Observe = func(f core.Fulfillment) { s.hist.Add(f.Round - f.Req.Arrive) }
 	s.wg.Add(1)
@@ -216,7 +227,7 @@ func New(cfg Config) (*Server, error) {
 // ingest (beyond the bounded channel's backpressure).
 func (s *Server) optWorker() {
 	defer s.wg.Done()
-	inc := offline.NewIncrementalOpt(s.cfg.N)
+	inc := offline.NewIncrementalOptModel(s.cfg.N, s.cfg.Model)
 	var sv *offline.Solver
 	for job := range s.optCh {
 		if job.seg != nil {
@@ -333,10 +344,13 @@ func (s *Server) flushLocked() {
 		return
 	}
 	t := s.batchT
-	if s.segCount > 0 && t > s.segMaxDL {
+	if s.segCount > 0 && t > s.segMaxDL && t%s.cfg.Model.Hold == 0 {
 		// Clean cut: every request of the closing segment has deadline
 		// <= segMaxDL < t, so running the engine through segMaxDL makes all
 		// of the segment's services and expiries final before the snapshot.
+		// Under hold > 1 the cut must also fall on an epoch boundary — the
+		// same rule as offline.SegmentTrace — so the epoch-relaxed segment
+		// optima sum to the whole stream's.
 		s.runToLocked(s.segMaxDL + 1)
 		if !s.cfg.RollingBatch {
 			s.sealSegmentLocked()
@@ -493,8 +507,11 @@ type Metrics struct {
 	Strategy string `json:"strategy"`
 	N        int    `json:"n"`
 	D        int    `json:"d"`
-	Round    int    `json:"round"`
-	Virtual  bool   `json:"virtual_clock"`
+	// Model is the service model string ("hold=H,cap=C"); omitted under the
+	// unit model, keeping unit-daemon metrics byte-identical to before.
+	Model   string `json:"model,omitempty"`
+	Round   int    `json:"round"`
+	Virtual bool   `json:"virtual_clock"`
 
 	Requests  int `json:"requests"`
 	Fulfilled int `json:"fulfilled"`
@@ -505,10 +522,15 @@ type Metrics struct {
 	QueueCap   int          `json:"queue_cap"`
 	Rejected   rejectCounts `json:"rejected"`
 	Resources  []int        `json:"per_resource"`
-	Latency    LatencyStats `json:"latency"`
-	Rolling    RollingRatio `json:"rolling_ratio"`
-	Draining   bool         `json:"draining"`
-	Finished   bool         `json:"finished"`
+	// Occupancy gauges how many capacity units of each resource are busy at
+	// the engine's current round — holds still running plus planned services.
+	// Only reported under a non-unit model (always zero between rounds at
+	// hold=1, cap=1).
+	Occupancy []int        `json:"occupancy,omitempty"`
+	Latency   LatencyStats `json:"latency"`
+	Rolling   RollingRatio `json:"rolling_ratio"`
+	Draining  bool         `json:"draining"`
+	Finished  bool         `json:"finished"`
 }
 
 // LatencyStats summarizes the service-latency histogram (rounds waited
@@ -566,6 +588,13 @@ func (s *Server) metricsLocked() Metrics {
 		Resources:  append([]int(nil), res.PerResource...),
 		Draining:   s.draining,
 		Finished:   s.finished,
+	}
+	if sm := s.cfg.Model; !sm.IsUnit() {
+		m.Model = sm.String()
+		m.Occupancy = make([]int, s.cfg.N)
+		for i := range m.Occupancy {
+			m.Occupancy[i] = s.st.Occupancy(i)
+		}
 	}
 	if n := s.hist.Total(); n > 0 {
 		m.Latency = LatencyStats{

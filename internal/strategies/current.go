@@ -46,17 +46,21 @@ func buildCurrentRoundGraph(sc *roundScratch, w *core.Window, reqs []*core.Reque
 	wg := &sc.wg
 	wg.reqs = reqs
 	wg.n = w.N()
+	wg.capc = w.Model().Cap
 	wg.t = w.Round()
 	wg.depth = w.Depth()
 	if wg.g == nil {
-		wg.g = newCurrentGraph(len(reqs), wg.depth*wg.n)
+		wg.g = newCurrentGraph(len(reqs), slots(w))
 	} else {
-		wg.g.Reset(len(reqs), wg.depth*wg.n)
+		wg.g.Reset(len(reqs), slots(w))
 	}
 	for li, r := range reqs {
 		for _, a := range r.Alts {
 			if w.Free(a, wg.t) {
-				wg.g.AddEdge(li, wg.slotIdx(a, wg.t))
+				base := wg.slotIdx(a, wg.t)
+				for u := w.AssignedCount(a, wg.t); u < wg.capc; u++ {
+					wg.g.AddEdge(li, base+u)
+				}
 			}
 		}
 	}

@@ -53,6 +53,11 @@ func (e *EDF) Round(ctx *core.RoundContext) {
 		}
 	}
 	for i := range e.queues {
+		// A resource still holding an earlier service (hold > 1) skips the
+		// round; under the unit model the current slot is always free here.
+		if !ctx.W.Free(i, ctx.T) {
+			continue
+		}
 		// Keep each queue in EDF order (deadline, then ID). Sorting the
 		// whole queue each round is O(q log q); queues are short in all the
 		// workloads of interest and clarity wins.

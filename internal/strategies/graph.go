@@ -7,22 +7,33 @@ import (
 
 // winGraph is a bipartite graph between a set of live requests and the slots
 // of the current window, with the shared slot indexing
-// (round - t) * n + resource.
+// ((round - t) * n + resource) * cap + unit. Under the unit model (cap=1)
+// this is the legacy (round - t) * n + resource indexing exactly. Capacities
+// above 1 expand each (resource, round) slot into cap interchangeable unit
+// vertices — sound at hold=1, where the slots of one round are independent;
+// the matching strategies' SupportsModel gates longer holds out.
 type winGraph struct {
 	g     *matching.Graph
 	reqs  []*core.Request
 	n     int
+	capc  int // capacity units per (resource, round) slot
 	t     int // current round
 	depth int
 }
 
-// slotIdx maps (resource, absolute round) to the right-vertex index.
-func (wg *winGraph) slotIdx(res, round int) int { return (round-wg.t)*wg.n + res }
-
-// slotOf inverts slotIdx.
-func (wg *winGraph) slotOf(idx int) (res, round int) {
-	return idx % wg.n, wg.t + idx/wg.n
+// slotIdx maps (resource, absolute round) to the right-vertex index of its
+// first capacity unit; units u of the slot follow at slotIdx + u.
+func (wg *winGraph) slotIdx(res, round int) int {
+	return ((round-wg.t)*wg.n + res) * wg.capc
 }
+
+// slotOf inverts slotIdx, dropping the (interchangeable) unit.
+func (wg *winGraph) slotOf(idx int) (res, round int) {
+	return (idx / wg.capc) % wg.n, wg.t + idx/(wg.n*wg.capc)
+}
+
+// slots returns the number of right vertices of a window graph over w.
+func slots(w *core.Window) int { return w.Depth() * w.N() * w.Model().Cap }
 
 // buildGraph constructs the window graph for the given requests. If onlyFree
 // is true, slots currently assigned in w are omitted (the A_fix family, which
@@ -32,7 +43,7 @@ func (wg *winGraph) slotOf(idx int) (res, round int) {
 // order: per request, alternatives as listed, rounds ascending, clipped to
 // the request's deadline.
 func buildGraph(w *core.Window, reqs []*core.Request, onlyFree bool) *winGraph {
-	wg := &winGraph{g: matching.NewGraph(len(reqs), w.Depth()*w.N())}
+	wg := &winGraph{g: matching.NewGraph(len(reqs), slots(w))}
 	wg.fill(w, reqs, onlyFree)
 	return wg
 }
@@ -42,6 +53,7 @@ func buildGraph(w *core.Window, reqs []*core.Request, onlyFree bool) *winGraph {
 func (wg *winGraph) fill(w *core.Window, reqs []*core.Request, onlyFree bool) {
 	wg.reqs = reqs
 	wg.n = w.N()
+	wg.capc = w.Model().Cap
 	wg.t = w.Round()
 	wg.depth = w.Depth()
 	for li, r := range reqs {
@@ -51,10 +63,21 @@ func (wg *winGraph) fill(w *core.Window, reqs []*core.Request, onlyFree bool) {
 		}
 		for _, a := range r.Alts {
 			for round := wg.t; round <= last; round++ {
-				if onlyFree && !w.Free(a, round) {
-					continue
+				base := wg.slotIdx(a, round)
+				if onlyFree {
+					if !w.Free(a, round) {
+						continue
+					}
+					// Only the slot's free units are vertices; the first
+					// AssignedCount units stand for the existing assignments.
+					for u := w.AssignedCount(a, round); u < wg.capc; u++ {
+						wg.g.AddEdge(li, base+u)
+					}
+				} else {
+					for u := 0; u < wg.capc; u++ {
+						wg.g.AddEdge(li, base+u)
+					}
 				}
-				wg.g.AddEdge(li, wg.slotIdx(a, round))
 			}
 		}
 	}
@@ -83,9 +106,9 @@ type roundScratch struct {
 // buildGraph is buildGraph filling the scratch-owned graph in place.
 func (sc *roundScratch) buildGraph(w *core.Window, reqs []*core.Request, onlyFree bool) *winGraph {
 	if sc.wg.g == nil {
-		sc.wg.g = matching.NewGraph(len(reqs), w.Depth()*w.N())
+		sc.wg.g = matching.NewGraph(len(reqs), slots(w))
 	} else {
-		sc.wg.g.Reset(len(reqs), w.Depth()*w.N())
+		sc.wg.g.Reset(len(reqs), slots(w))
 	}
 	sc.wg.fill(w, reqs, onlyFree)
 	return &sc.wg
@@ -100,14 +123,15 @@ func (sc *roundScratch) emptyMatching() *matching.Matching {
 
 // roundClasses is winGraph.roundClasses writing into the scratch buffer.
 func (sc *roundScratch) roundClasses(maxClass int) []int32 {
-	n := sc.wg.depth * sc.wg.n
+	stride := sc.wg.n * sc.wg.capc
+	n := sc.wg.depth * stride
 	if cap(sc.classOf) >= n {
 		sc.classOf = sc.classOf[:n]
 	} else {
 		sc.classOf = make([]int32, n)
 	}
 	for idx := range sc.classOf {
-		c := idx / sc.wg.n
+		c := idx / stride
 		if c >= maxClass {
 			c = maxClass - 1
 		}
@@ -128,10 +152,17 @@ func (sc *roundScratch) coverMatching(snapshot []core.Assignment) *matching.Matc
 		sc.index[r.ID] = li
 	}
 	sc.cover.Reset(sc.wg.g.NLeft(), sc.wg.g.NRight())
+	// Snapshot order is deterministic ascending (round, resource), so
+	// assignments sharing a slot take its units 0, 1, ... in snapshot order.
+	prev, unit := [2]int{-1, -1}, 0
 	for _, a := range snapshot {
-		if li, ok := sc.index[a.Req.ID]; ok {
-			sc.cover.Match(li, sc.wg.slotIdx(a.Res, a.Round))
+		if key := [2]int{a.Res, a.Round}; key != prev {
+			prev, unit = key, 0
 		}
+		if li, ok := sc.index[a.Req.ID]; ok {
+			sc.cover.Match(li, sc.wg.slotIdx(a.Res, a.Round)+unit)
+		}
+		unit++
 	}
 	return &sc.cover
 }
@@ -154,9 +185,10 @@ func (sc *roundScratch) identOrder(n int) []int {
 // the most preferred. maxClass caps the classes (A_eager uses 2: "now" vs
 // "later").
 func (wg *winGraph) roundClasses(maxClass int) []int32 {
-	classOf := make([]int32, wg.depth*wg.n)
+	stride := wg.n * wg.capc
+	classOf := make([]int32, wg.depth*stride)
 	for idx := range classOf {
-		c := idx / wg.n
+		c := idx / stride
 		if c >= maxClass {
 			c = maxClass - 1
 		}
@@ -174,10 +206,15 @@ func (wg *winGraph) coverMatching(snapshot []core.Assignment) *matching.Matching
 		index[r.ID] = li
 	}
 	m := matching.NewMatching(wg.g.NLeft(), wg.g.NRight())
+	prev, unit := [2]int{-1, -1}, 0
 	for _, a := range snapshot {
-		if li, ok := index[a.Req.ID]; ok {
-			m.Match(li, wg.slotIdx(a.Res, a.Round))
+		if key := [2]int{a.Res, a.Round}; key != prev {
+			prev, unit = key, 0
 		}
+		if li, ok := index[a.Req.ID]; ok {
+			m.Match(li, wg.slotIdx(a.Res, a.Round)+unit)
+		}
+		unit++
 	}
 	return m
 }

@@ -49,4 +49,3 @@ func Global() []core.Strategy {
 		NewBalance(),
 	}
 }
-

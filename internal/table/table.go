@@ -77,6 +77,12 @@ type rowSpec struct {
 	// universal marks Row 6 cells: relabel "any (strategy)" and attach the
 	// universal lower bound instead of the strategy's own.
 	universal bool
+	// bounds overrides the strategies.LowerBound/UpperBound lookup — the
+	// service-model rows' greedy bounds come from the reusable-resources
+	// literature, not the paper's Table 1.
+	bounds bool
+	lb, ub float64
+	lbNote string
 }
 
 func iv(v int) registry.Value { return registry.IntVal(int64(v)) }
@@ -169,6 +175,38 @@ func localRowSpecs(cfg Config) []rowSpec {
 	return specs
 }
 
+// modelRowSpecs declares the reusable-resources rows: the greedy router under
+// hold=k service models. The hold_squeeze construction forces the greedy /
+// maximal-matching charging-argument factor 2 exactly (each hold window
+// absorbs at most cap optimal starts); the Baek–Wang analysis (arXiv
+// 2304.03377) sharpens the guarantee in the windowless reusable model, so
+// the reusable-workload rows report how far below 2 greedy sits on stochastic
+// traffic at the same hold.
+func modelRowSpecs(cfg Config) []rowSpec {
+	const greedy = "compose,router=greedy"
+	var specs []rowSpec
+	for _, h := range []int{2, 4, 8} {
+		specs = append(specs, rowSpec{
+			row: "greedy", param: fmt.Sprintf("hold=%d", h), theorem: "charging", d: h - 1,
+			strategy: greedy, source: "hold_squeeze",
+			params: registry.Params{"hold": iv(h), "phases": iv(cfg.Phases)},
+			bounds: true, lb: 2, ub: 2, lbNote: "exact",
+		})
+	}
+	for _, h := range []int{2, 4, 8} {
+		specs = append(specs, rowSpec{
+			row: "greedy", param: fmt.Sprintf("hold=%d,cap=2", h), theorem: "BW 23", d: 4,
+			strategy: greedy, source: "reusable",
+			params: registry.Params{
+				"n": iv(8), "d": iv(4), "rounds": iv(300), "seed": iv(1),
+				"hold": iv(h), "cap": iv(2),
+			},
+			bounds: true, ub: 2,
+		})
+	}
+	return specs
+}
+
 // measureSpecs resolves the specs into a grid manifest and measures it on the
 // ratio worker pool (workers <= 0: GOMAXPROCS; 1: serial), converting the
 // measurements, in spec order, into entries. Every job is independent and
@@ -199,6 +237,9 @@ func measureSpecs(specs []rowSpec, workers int) ([]Entry, error) {
 			e.Row = "any (" + sp.row + ")"
 			e.ProvenLB = strategies.UniversalLowerBound()
 			e.LBNote = "universal"
+		}
+		if sp.bounds {
+			e.ProvenLB, e.ProvenUB, e.LBNote = sp.lb, sp.ub, sp.lbNote
 		}
 		out[i] = e
 	}
@@ -234,6 +275,21 @@ func LocalRows(cfg Config) []Entry {
 // LocalRowsParallel is LocalRows on the ratio worker pool.
 func LocalRowsParallel(cfg Config, workers int) ([]Entry, error) {
 	return measureSpecs(localRowSpecs(cfg), workers)
+}
+
+// ModelRows measures the reusable-resources rows (greedy under hold=k
+// service models), serially.
+func ModelRows(cfg Config) []Entry {
+	out, err := measureSpecs(modelRowSpecs(cfg), 1)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// ModelRowsParallel is ModelRows on the ratio worker pool.
+func ModelRowsParallel(cfg Config, workers int) ([]Entry, error) {
+	return measureSpecs(modelRowSpecs(cfg), workers)
 }
 
 // Format renders entries as an aligned text table.

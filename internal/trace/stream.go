@@ -22,10 +22,14 @@ import (
 	"reqsched/internal/core"
 )
 
-// streamHeader is the first line of a JSONL trace stream.
+// streamHeader is the first line of a JSONL trace stream. Hold and Cap carry
+// the service model and are omitted for the unit model, keeping unit streams
+// byte-identical to the historical format.
 type streamHeader struct {
-	N int `json:"n"`
-	D int `json:"d"`
+	N    int `json:"n"`
+	D    int `json:"d"`
+	Hold int `json:"hold,omitempty"`
+	Cap  int `json:"cap,omitempty"`
 }
 
 // StreamWriter emits a trace as JSONL without materializing it: the caller
@@ -40,11 +44,24 @@ type StreamWriter struct {
 // NewStreamWriter writes the stream header for a trace over n resources with
 // default deadline window d and returns the writer.
 func NewStreamWriter(w io.Writer, n, d int) (*StreamWriter, error) {
+	return NewStreamWriterModel(w, n, d, core.UnitModel())
+}
+
+// NewStreamWriterModel is NewStreamWriter for a trace under service model m;
+// a non-unit model is recorded in the stream header.
+func NewStreamWriterModel(w io.Writer, n, d int, m core.ServiceModel) (*StreamWriter, error) {
 	if n < 1 || d < 1 {
 		return nil, fmt.Errorf("trace: invalid stream header n=%d d=%d", n, d)
 	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	h := streamHeader{N: n, D: d}
+	if m = m.Norm(); !m.IsUnit() {
+		h.Hold, h.Cap = m.Hold, m.Cap
+	}
 	sw := &StreamWriter{enc: json.NewEncoder(w), n: n, d: d}
-	if err := sw.enc.Encode(streamHeader{N: n, D: d}); err != nil {
+	if err := sw.enc.Encode(h); err != nil {
 		return nil, fmt.Errorf("trace: stream header: %w", err)
 	}
 	return sw, nil
@@ -80,7 +97,7 @@ func (sw *StreamWriter) Count() int { return sw.count }
 // convenience path; generators that never build a Trace use StreamWriter
 // directly.
 func WriteStream(w io.Writer, tr *core.Trace) error {
-	sw, err := NewStreamWriter(w, tr.N, tr.D)
+	sw, err := NewStreamWriterModel(w, tr.N, tr.D, tr.Model)
 	if err != nil {
 		return err
 	}
@@ -185,6 +202,7 @@ func ScanJSONLine(r *bufio.Reader, off int64) (line []byte, next int64, err erro
 type StreamReader struct {
 	r      *bufio.Reader
 	n, d   int
+	model  core.ServiceModel
 	index  int
 	lastT  int
 	offset int64
@@ -208,13 +226,21 @@ func NewStreamReader(r io.Reader) (*StreamReader, error) {
 	if h.N < 1 || h.D < 1 {
 		return nil, fmt.Errorf("trace: invalid stream header n=%d d=%d", h.N, h.D)
 	}
-	sr.n, sr.d = h.N, h.D
+	m := core.ServiceModel{Hold: h.Hold, Cap: h.Cap}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: stream header: %w", err)
+	}
+	sr.n, sr.d, sr.model = h.N, h.D, m.Norm()
 	return sr, nil
 }
 
 // N returns the number of resources; D the default deadline window.
 func (sr *StreamReader) N() int { return sr.n }
 func (sr *StreamReader) D() int { return sr.d }
+
+// Model returns the stream's service model (normalized; unit when the header
+// carries none).
+func (sr *StreamReader) Model() core.ServiceModel { return sr.model }
 
 // Count returns the number of records decoded so far.
 func (sr *StreamReader) Count() int { return sr.index }
@@ -296,6 +322,9 @@ func ReadStream(r io.Reader) (*core.Trace, error) {
 		return nil, err
 	}
 	b := core.NewBuilder(sr.N(), sr.D())
+	if m := sr.Model(); !m.IsUnit() {
+		b.SetModel(m)
+	}
 	for {
 		rec, err := sr.Next()
 		if err == io.EOF {
@@ -327,6 +356,7 @@ func ReadStream(r io.Reader) (*core.Trace, error) {
 // from the engine's observe callback.
 type SegmentCutter struct {
 	n, d  int
+	m     core.ServiceModel
 	b     *core.Builder
 	count int
 	lo    int
@@ -334,21 +364,44 @@ type SegmentCutter struct {
 }
 
 // NewSegmentCutter returns a cutter for requests over n resources with
-// default deadline window d.
+// default deadline window d, under the unit service model.
 func NewSegmentCutter(n, d int) *SegmentCutter {
-	return &SegmentCutter{n: n, d: d, b: core.NewBuilder(n, d), maxDL: -1}
+	return NewSegmentCutterModel(n, d, core.UnitModel())
+}
+
+// NewSegmentCutterModel is NewSegmentCutter under service model m. With hold
+// > 1 a cut must additionally fall on an epoch boundary (a round that is a
+// multiple of hold — the rule offline.SegmentTrace uses), so a service
+// started in one segment cannot still occupy its resource in the next, and
+// segment origins are shifted only by whole epochs so each segment's
+// epoch-relaxed optimum is unchanged by the shift.
+func NewSegmentCutterModel(n, d int, m core.ServiceModel) *SegmentCutter {
+	m = m.Norm()
+	return &SegmentCutter{n: n, d: d, m: m, b: newSegBuilder(n, d, m), maxDL: -1}
+}
+
+func newSegBuilder(n, d int, m core.ServiceModel) *core.Builder {
+	b := core.NewBuilder(n, d)
+	if !m.IsUnit() {
+		b.SetModel(m)
+	}
+	return b
 }
 
 // Add appends one request. If the request opens a new segment — its arrival
-// round is past every earlier deadline — the finished segment is returned;
-// otherwise Add returns nil. Arrival rounds must be nondecreasing.
+// round is past every earlier deadline, and at an epoch boundary when hold >
+// 1 — the finished segment is returned; otherwise Add returns nil. Arrival
+// rounds must be nondecreasing.
 func (sc *SegmentCutter) Add(rec StreamRecord) *core.Trace {
 	var done *core.Trace
-	if sc.count > 0 && rec.T > sc.maxDL {
+	if sc.count > 0 && rec.T > sc.maxDL && rec.T%sc.m.Hold == 0 {
 		done = sc.flush()
 	}
 	if sc.count == 0 {
-		sc.lo = rec.T
+		// Epoch-floor the origin: shifting by a non-multiple of hold would
+		// move requests across epoch boundaries and change the segment's
+		// epoch-relaxed optimum. At hold = 1 this is exactly rec.T.
+		sc.lo = rec.T - rec.T%sc.m.Hold
 	}
 	id := sc.b.AddWindow(rec.T-sc.lo, rec.D, rec.Alts...)
 	if rec.W > 1 {
@@ -372,7 +425,7 @@ func (sc *SegmentCutter) Finish() *core.Trace {
 
 func (sc *SegmentCutter) flush() *core.Trace {
 	tr := sc.b.Build()
-	sc.b = core.NewBuilder(sc.n, sc.d)
+	sc.b = newSegBuilder(sc.n, sc.d, sc.m)
 	sc.count = 0
 	return tr
 }
@@ -382,8 +435,14 @@ func (sc *SegmentCutter) flush() *core.Trace {
 // most one open segment. A record error is yielded once as (nil, err) and
 // ends the iteration.
 func SegmentsOf(n, d int, recs iter.Seq2[StreamRecord, error]) iter.Seq2[*core.Trace, error] {
+	return SegmentsOfModel(n, d, core.UnitModel(), recs)
+}
+
+// SegmentsOfModel is SegmentsOf under service model m: segments carry the
+// model and cuts respect its epoch boundaries.
+func SegmentsOfModel(n, d int, m core.ServiceModel, recs iter.Seq2[StreamRecord, error]) iter.Seq2[*core.Trace, error] {
 	return func(yield func(*core.Trace, error) bool) {
-		sc := NewSegmentCutter(n, d)
+		sc := NewSegmentCutterModel(n, d, m)
 		for rec, err := range recs {
 			if err != nil {
 				yield(nil, err)
@@ -420,6 +479,6 @@ func Segments(r io.Reader) iter.Seq2[*core.Trace, error] {
 				}
 			}
 		}
-		SegmentsOf(sr.N(), sr.D(), recs)(yield)
+		SegmentsOfModel(sr.N(), sr.D(), sr.Model(), recs)(yield)
 	}
 }

@@ -14,8 +14,13 @@ import (
 // fileFormat is the on-disk representation: compact per-request records
 // rather than the in-memory round-indexed layout.
 type fileFormat struct {
-	N        int          `json:"n"`
-	D        int          `json:"d"`
+	N int `json:"n"`
+	D int `json:"d"`
+	// Hold and Cap carry the trace's service model; both are omitted for the
+	// unit model, so pre-model files and unit traces are byte-identical to
+	// the historical format.
+	Hold     int          `json:"hold,omitempty"`
+	Cap      int          `json:"cap,omitempty"`
 	Requests []fileRecord `json:"requests"`
 }
 
@@ -29,6 +34,9 @@ type fileRecord struct {
 // Write serializes tr as JSON.
 func Write(w io.Writer, tr *core.Trace) error {
 	ff := fileFormat{N: tr.N, D: tr.D}
+	if m := tr.Model.Norm(); !m.IsUnit() {
+		ff.Hold, ff.Cap = m.Hold, m.Cap
+	}
 	for _, r := range tr.Requests() {
 		rec := fileRecord{T: r.Arrive, Alts: r.Alts}
 		if r.D != tr.D {
@@ -52,7 +60,14 @@ func Read(r io.Reader) (*core.Trace, error) {
 	if ff.N < 1 || ff.D < 1 {
 		return nil, fmt.Errorf("trace: invalid header n=%d d=%d", ff.N, ff.D)
 	}
+	m := core.ServiceModel{Hold: ff.Hold, Cap: ff.Cap}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
 	b := core.NewBuilder(ff.N, ff.D)
+	if !m.Norm().IsUnit() {
+		b.SetModel(m.Norm())
+	}
 	for i, rec := range ff.Requests {
 		// Validate before handing to the Builder: the Builder treats bad
 		// input as a programming error and panics, but Read is an input

@@ -1,0 +1,35 @@
+package workload
+
+import (
+	"math/rand"
+
+	"reqsched/internal/core"
+)
+
+// Reusable generates two-choice traffic sized to a non-unit service model:
+// the trace carries m, and when cfg.Rate is 0 the arrival rate is derived
+// from load as load * n * cap / hold — the model's steady-state service
+// capacity is n*cap/hold starts per round, so load plays the same "1.0 =
+// nominally saturated" role Rate = N plays for the unit generators. The
+// alternatives are a uniformly random distinct pair, making the family the
+// reusable-resources analogue of Uniform.
+func Reusable(cfg Config, m core.ServiceModel, load float64) *core.Trace {
+	m = m.Norm()
+	rate := cfg.Rate
+	if rate <= 0 {
+		rate = load * float64(cfg.N) * float64(m.Cap) / float64(m.Hold)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := core.NewBuilder(cfg.N, cfg.D)
+	if !m.IsUnit() {
+		b.SetModel(m)
+	}
+	for t := 0; t < cfg.Rounds; t++ {
+		k := poisson(rng, rate)
+		for i := 0; i < k; i++ {
+			a, c := distinctPair(rng, cfg.N, func() int { return rng.Intn(cfg.N) })
+			b.Add(t, a, c)
+		}
+	}
+	return b.Build()
+}
